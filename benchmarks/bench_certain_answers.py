@@ -1,0 +1,13 @@
+"""E5 — Figure 1 pipeline: certain answers, rewriting vs chase."""
+
+from repro.experiments import run_certain_answers
+
+
+def test_bench_certain_answers(benchmark, bench_scale):
+    sizes = (50, 100, 200) if bench_scale == "full" else (40, 80)
+    result = benchmark(run_certain_answers, sizes=sizes)
+    print()
+    print(result.render())
+    assert all(result.column("strategies_agree"))
+    q3_rows = [row for row in result.rows if row["query"] == "q3"]
+    assert all(row["ontology_gain"] > 0 for row in q3_rows)

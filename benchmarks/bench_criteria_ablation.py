@@ -1,0 +1,32 @@
+"""E8 — criteria-weight ablation and bias audit."""
+
+from repro.experiments import run_bias_ablation, run_weight_ablation
+
+
+def test_bench_weight_ablation(benchmark):
+    result = benchmark(run_weight_ablation)
+    print()
+    print(result.render())
+    winners = {(row["alpha"], row["beta"], row["gamma"]): row["winner"] for row in result.rows}
+    # Items (1) and (2) of Example 3.8.
+    assert winners[(1, 1, 1)] == "q3"
+    assert winners[(3, 1, 1)] == "q1"
+
+
+def test_bench_bias_ablation(benchmark, bench_scale):
+    persons = 40 if bench_scale == "full" else 25
+    result = benchmark.pedantic(
+        run_bias_ablation,
+        kwargs=dict(persons=persons, bias_levels=(0.0, 1.0), max_candidates=120),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    by_bias = {row["bias_strength"]: row for row in result.rows}
+    assert len(by_bias) == 2
+    # Injecting bias must change what the explainer reports.
+    assert (
+        by_bias[1.0]["mentions_group"]
+        or by_bias[1.0]["best_query"] != by_bias[0.0]["best_query"]
+    )

@@ -1,0 +1,11 @@
+"""E1 — Example 3.3: border construction (correctness + timing)."""
+
+from repro.experiments import run_example_3_3
+
+
+def test_bench_example_3_3_border(benchmark):
+    result = benchmark(run_example_3_3)
+    print()
+    print(result.render())
+    assert all(result.column("matches_paper"))
+    assert result.rows[-1]["border_size"] == 4

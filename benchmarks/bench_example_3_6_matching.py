@@ -1,0 +1,10 @@
+"""E2 — Example 3.6: J-matching of q1/q2/q3 and CQ-separability."""
+
+from repro.experiments import run_example_3_6
+
+
+def test_bench_example_3_6_matching(benchmark):
+    result = benchmark(run_example_3_6)
+    print()
+    print(result.render())
+    assert all(result.column("matches_paper"))

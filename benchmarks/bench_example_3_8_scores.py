@@ -1,0 +1,11 @@
+"""E3 — Example 3.8: Z-scores of q1/q2/q3 under both weightings."""
+
+from repro.experiments import run_example_3_8
+
+
+def test_bench_example_3_8_scores(benchmark):
+    result = benchmark(run_example_3_8)
+    print()
+    print(result.render())
+    # Five of the six paper values match; Z1(q2) is the paper's arithmetic slip.
+    assert result.column("agrees").count(True) == 5

@@ -1,0 +1,17 @@
+"""E6 — deferred evaluation: explanation fidelity vs trained classifiers."""
+
+from repro.experiments import run_fidelity
+
+
+def test_bench_fidelity(benchmark, bench_scale):
+    if bench_scale == "full":
+        kwargs = dict(size=40, max_candidates=300)
+    else:
+        kwargs = dict(size=20, classifiers=("decision_tree",), max_candidates=100)
+    result = benchmark.pedantic(run_fidelity, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.rows
+    for row in result.rows:
+        assert row["delta4_exclusion"] >= 0.5
+        assert row["z_score"] > 0.4

@@ -1,0 +1,11 @@
+"""E4 — Proposition 3.5: monotonicity of J-matching in the radius."""
+
+from repro.experiments import run_proposition_3_5
+
+
+def test_bench_prop_3_5_monotonicity(benchmark, bench_scale):
+    students = 60 if bench_scale == "full" else 20
+    result = benchmark(run_proposition_3_5, students=students)
+    print()
+    print(result.render())
+    assert sum(result.column("violations")) == 0

@@ -1,0 +1,33 @@
+"""E7 — deferred evaluation: scalability of borders and of the search."""
+
+from repro.experiments import run_border_scalability, run_search_scalability
+
+
+def test_bench_border_scalability(benchmark, bench_scale):
+    sizes = (50, 100, 200, 400) if bench_scale == "full" else (50, 100)
+    result = benchmark.pedantic(
+        run_border_scalability, kwargs=dict(sizes=sizes, radii=(0, 1, 2)), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # Borders must grow (weakly) with the radius for every database size.
+    by_size = {}
+    for row in result.rows:
+        by_size.setdefault(row["students"], []).append(row)
+    for rows in by_size.values():
+        ordered = sorted(rows, key=lambda row: row["radius"])
+        sizes_per_radius = [row["mean_border_size"] for row in ordered]
+        assert sizes_per_radius == sorted(sizes_per_radius)
+
+
+def test_bench_search_scalability(benchmark, bench_scale):
+    sizes = (20, 40, 80) if bench_scale == "full" else (15, 30)
+    result = benchmark.pedantic(
+        run_search_scalability,
+        kwargs=dict(sizes=sizes),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    assert all(row["best_coverage"] >= 0.9 for row in result.rows)

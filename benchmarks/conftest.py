@@ -1,0 +1,25 @@
+"""pytest-benchmark configuration shared by all benches.
+
+Every bench regenerates one experiment of the index in DESIGN.md and
+prints its result table, so running ``pytest benchmarks/ --benchmark-only``
+re-produces the paper's numbers alongside the timing statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        action="store",
+        default="small",
+        choices=("small", "full"),
+        help="workload scale for the experiment benches (small keeps CI fast)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request) -> str:
+    return request.config.getoption("--bench-scale")

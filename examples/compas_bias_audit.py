@@ -1,0 +1,63 @@
+"""Bias audit on a synthetic recidivism-risk classifier.
+
+The paper motivates ontology-based explanations with the COMPAS case:
+without transparency it is hard to see that a risk classifier treats a
+demographic group unfairly.  This example reproduces that scenario on a
+synthetic domain:
+
+* the *unbiased* run labels defendants by priors/charge severity only;
+* the *biased* run injects a dependence on the sensitive group;
+* in both runs a decision tree is trained on numeric features and its
+  predictions are explained through the ontology.
+
+The interesting output is whether the best-describing query mentions
+``belongsToGroup(x, 'B')`` — the ontology-level trace of the bias.
+
+Run with:  python examples/compas_bias_audit.py
+"""
+
+from __future__ import annotations
+
+from repro import OBDMSystem, OntologyExplainer, example_3_8_expression
+from repro.core.candidates import CandidateConfig
+from repro.ml import DecisionTreeClassifier
+from repro.ontologies.compas import build_compas_specification
+from repro.workloads import CompasWorkloadConfig, generate_compas_workload
+
+
+def audit(bias_strength: float) -> None:
+    workload = generate_compas_workload(
+        CompasWorkloadConfig(persons=60, seed=11, bias_strength=bias_strength)
+    )
+    dataset = workload.dataset
+    classifier = DecisionTreeClassifier(max_depth=4).fit(dataset.X, dataset.y)
+    labeling = dataset.predicted_labeling(classifier, name=f"risk_bias_{bias_strength}")
+
+    system = OBDMSystem(build_compas_specification(), workload.database, name="compas")
+    explainer = OntologyExplainer(system)
+    report = explainer.explain(
+        labeling,
+        radius=1,
+        expression=example_3_8_expression(alpha=2, beta=2, gamma=1),
+        candidate_config=CandidateConfig(max_atoms=2, max_candidates=300),
+        top_k=3,
+    )
+
+    print(f"=== bias_strength = {bias_strength} ===")
+    print(f"classifier accuracy: {classifier.score(dataset.X, dataset.y):.3f}")
+    print(report.render(3))
+    best_text = str(report.best.query)
+    if "belongsToGroup" in best_text or "'B'" in best_text:
+        print(">>> the explanation SURFACES the sensitive attribute — audit flag raised")
+    else:
+        print(">>> the explanation relies on legitimate attributes only")
+    print()
+
+
+def main() -> None:
+    audit(bias_strength=0.0)
+    audit(bias_strength=1.0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Criteria trade-offs: how the winning explanation changes with Z.
+
+Generalises Example 3.8: the same three candidate queries are scored
+under a grid of weightings of Δ = {δ1, δ4, δ5} and under alternative
+scoring expressions (product, min, harmonic mean).  The point of the
+exercise — and of the paper's framework — is that "the best explanation"
+is a function of the criteria the user cares about, not an absolute.
+
+Run with:  python examples/criteria_tradeoffs.py
+"""
+
+from __future__ import annotations
+
+from repro import OntologyExplainer
+from repro.core import HarmonicMean, MinScore, WeightedProduct, example_3_8_expression
+from repro.experiments import run_weight_ablation
+from repro.ontologies.university import (
+    build_university_labeling,
+    build_university_system,
+    example_queries,
+)
+
+
+def main() -> None:
+    # -- the weight grid of experiment E8a -----------------------------------
+    print(run_weight_ablation().render())
+    print()
+
+    # -- alternative scoring expressions ----------------------------------------
+    system = build_university_system()
+    labeling = build_university_labeling()
+    explainer = OntologyExplainer(system)
+    queries = example_queries()
+
+    expressions = {
+        "weighted average (1,1,1)": example_3_8_expression(1, 1, 1),
+        "weighted product": WeightedProduct.of({"delta1": 1.0, "delta4": 1.0, "delta5": 1.0}),
+        "min (egalitarian)": MinScore(("delta1", "delta4", "delta5")),
+        "harmonic mean": HarmonicMean(("delta1", "delta4", "delta5")),
+    }
+    print("Scores of q1, q2, q3 under alternative expressions Z:")
+    header = f"  {'expression':28} " + "  ".join(f"{name:>8}" for name in sorted(queries))
+    print(header)
+    for label, expression in expressions.items():
+        scores = {}
+        for name, query in queries.items():
+            scored = explainer.score(query, labeling, radius=1, expression=expression)
+            scores[name] = scored.score
+        row = f"  {label:28} " + "  ".join(f"{scores[name]:8.3f}" for name in sorted(queries))
+        winner = max(sorted(scores), key=lambda name: scores[name])
+        print(f"{row}   -> winner: {winner}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment ships an older setuptools without the ``wheel`` package,
+so PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.
+This setup.py enables the legacy editable install path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

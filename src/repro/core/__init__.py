@@ -1,0 +1,87 @@
+"""The paper's primary contribution: ontology-based explanation of classifiers."""
+
+from .best_describe import BestDescriptionSearch, QueryScorer, ScoredQuery
+from .border import Border, BorderComputer
+from .candidates import CandidateConfig, CandidateGenerator
+from .criteria import (
+    ACCURACY,
+    DEFAULT_REGISTRY,
+    DELTA_1,
+    DELTA_2,
+    DELTA_3,
+    DELTA_4,
+    DELTA_5,
+    DELTA_6,
+    F1,
+    PAPER_CRITERIA,
+    PRECISION,
+    Criterion,
+    CriteriaRegistry,
+    EvaluationContext,
+    evaluate_criteria,
+)
+from .explainer import OntologyExplainer
+from .labeling import NEGATIVE, POSITIVE, Labeling, normalize_tuple
+from .matching import MatchEvaluator, MatchProfile
+from .refinement import RefinementConfig, RefinementSearch
+from .report import Explanation, ExplanationReport, build_report
+from .scoring import (
+    CallableExpression,
+    HarmonicMean,
+    MinScore,
+    ScoringExpression,
+    WeightedAverage,
+    WeightedProduct,
+    balanced_expression,
+    example_3_8_expression,
+    fidelity_first_expression,
+)
+from .separability import SeparabilityChecker, SeparabilityResult
+
+__all__ = [
+    "ACCURACY",
+    "BestDescriptionSearch",
+    "Border",
+    "BorderComputer",
+    "CallableExpression",
+    "CandidateConfig",
+    "CandidateGenerator",
+    "Criterion",
+    "CriteriaRegistry",
+    "DEFAULT_REGISTRY",
+    "DELTA_1",
+    "DELTA_2",
+    "DELTA_3",
+    "DELTA_4",
+    "DELTA_5",
+    "DELTA_6",
+    "EvaluationContext",
+    "Explanation",
+    "ExplanationReport",
+    "F1",
+    "HarmonicMean",
+    "Labeling",
+    "MatchEvaluator",
+    "MatchProfile",
+    "MinScore",
+    "NEGATIVE",
+    "OntologyExplainer",
+    "PAPER_CRITERIA",
+    "POSITIVE",
+    "PRECISION",
+    "QueryScorer",
+    "RefinementConfig",
+    "RefinementSearch",
+    "ScoredQuery",
+    "ScoringExpression",
+    "SeparabilityChecker",
+    "SeparabilityResult",
+    "WeightedAverage",
+    "WeightedProduct",
+    "balanced_expression",
+    "build_report",
+    "evaluate_criteria",
+    "example_3_8_expression",
+    "fidelity_first_expression",
+    "normalize_tuple",
+]

@@ -1,0 +1,250 @@
+"""Searching for the ``L_O``-best describing query (Definition 3.7).
+
+A query *best describes* ``λ`` w.r.t. an OBDM system, a radius, a set of
+criteria ``Δ``, functions ``F`` and an expression ``Z`` when no other
+query of the language has a strictly higher Z-score.  Since the language
+is infinite, the implementation searches a finite candidate space built
+by the bottom-up generator (:mod:`repro.core.candidates`), the top-down
+refinement search (:mod:`repro.core.refinement`), or an explicit list
+supplied by the caller, and returns the maximiser over that space
+together with the full ranking.
+
+For ``L_O = UCQ`` the search additionally builds unions greedily: it
+starts from the best CQ and keeps adding the disjunct that most improves
+the Z-score (criterion δ6 naturally counterbalances unions that grow too
+large).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import ExplanationError, SearchBudgetExceeded
+from ..obdm.certain_answers import OntologyQuery
+from ..obdm.system import OBDMSystem
+from ..queries.cq import ConjunctiveQuery
+from ..queries.ucq import UnionOfConjunctiveQueries
+from .border import BorderComputer
+from .candidates import CandidateConfig, CandidateGenerator
+from .criteria import (
+    DEFAULT_REGISTRY,
+    DELTA_1,
+    DELTA_4,
+    DELTA_5,
+    Criterion,
+    CriteriaRegistry,
+    EvaluationContext,
+    evaluate_criteria,
+)
+from .labeling import Labeling
+from .matching import MatchEvaluator, MatchProfile
+from .refinement import RefinementConfig, RefinementSearch
+from .scoring import ScoringExpression, example_3_8_expression
+
+
+@dataclass(frozen=True)
+class ScoredQuery:
+    """A candidate query with its Z-score and per-criterion values."""
+
+    query: OntologyQuery
+    score: float
+    criterion_values: Tuple[Tuple[str, float], ...]
+    profile: MatchProfile
+
+    @property
+    def values(self) -> Dict[str, float]:
+        return dict(self.criterion_values)
+
+    def __str__(self):
+        values = ", ".join(f"{key}={value:.3f}" for key, value in self.criterion_values)
+        return f"Z={self.score:.3f} [{values}]  {self.query}"
+
+
+class QueryScorer:
+    """Evaluates Δ, F and Z for queries against one labeling."""
+
+    def __init__(
+        self,
+        evaluator: MatchEvaluator,
+        labeling: Labeling,
+        criteria: Sequence[Union[str, Criterion]] = (DELTA_1, DELTA_4, DELTA_5),
+        expression: Optional[ScoringExpression] = None,
+        registry: CriteriaRegistry = DEFAULT_REGISTRY,
+    ):
+        self.evaluator = evaluator
+        self.labeling = labeling
+        self.criteria = registry.resolve(criteria)
+        self.expression = expression or example_3_8_expression()
+        missing = [
+            variable
+            for variable in self.expression.variables()
+            if variable not in {criterion.key for criterion in self.criteria}
+        ]
+        if missing:
+            raise ExplanationError(
+                f"scoring expression refers to criteria {missing} that are not in Δ"
+            )
+
+    def context_for(self, query: OntologyQuery) -> EvaluationContext:
+        profile = self.evaluator.profile(query, self.labeling)
+        return EvaluationContext(query, profile, self.labeling, self.evaluator.radius)
+
+    def score(self, query: OntologyQuery) -> ScoredQuery:
+        """Compute the Z-score (and criterion breakdown) of one query."""
+        context = self.context_for(query)
+        values = evaluate_criteria(self.criteria, context)
+        z_score = self.expression.score(values)
+        return ScoredQuery(
+            query=query,
+            score=z_score,
+            criterion_values=tuple(sorted(values.items())),
+            profile=context.profile,
+        )
+
+    def score_value(self, query: OntologyQuery) -> float:
+        return self.score(query).score
+
+
+class BestDescriptionSearch:
+    """End-to-end search for the best-describing query over a candidate space."""
+
+    def __init__(
+        self,
+        system: OBDMSystem,
+        labeling: Labeling,
+        radius: int = 1,
+        criteria: Sequence[Union[str, Criterion]] = (DELTA_1, DELTA_4, DELTA_5),
+        expression: Optional[ScoringExpression] = None,
+        registry: CriteriaRegistry = DEFAULT_REGISTRY,
+        border_computer: Optional[BorderComputer] = None,
+    ):
+        self.system = system
+        self.labeling = labeling
+        self.radius = radius
+        self.evaluator = MatchEvaluator(system, radius, border_computer)
+        self.scorer = QueryScorer(self.evaluator, labeling, criteria, expression, registry)
+
+    # -- ranking a given candidate set ----------------------------------------------
+
+    def rank(self, candidates: Iterable[OntologyQuery]) -> List[ScoredQuery]:
+        """Score every candidate and sort by decreasing Z-score.
+
+        Ties are broken towards syntactically smaller queries (fewer
+        atoms), then lexicographically, so results are deterministic.
+        """
+        scored = [self.scorer.score(candidate) for candidate in candidates]
+        scored.sort(key=self._sort_key)
+        return scored
+
+    @staticmethod
+    def _sort_key(entry: ScoredQuery):
+        query = entry.query
+        if isinstance(query, UnionOfConjunctiveQueries):
+            size = (query.disjunct_count(), query.atom_count())
+        else:
+            size = (1, query.atom_count())
+        return (-entry.score, size, str(query))
+
+    def best(self, candidates: Iterable[OntologyQuery]) -> ScoredQuery:
+        ranking = self.rank(candidates)
+        if not ranking:
+            raise ExplanationError("no candidate queries to rank")
+        return ranking[0]
+
+    # -- automatic candidate construction ----------------------------------------------
+
+    def generate_candidates(
+        self, config: Optional[CandidateConfig] = None
+    ) -> List[ConjunctiveQuery]:
+        generator = CandidateGenerator(
+            self.system, self.radius, config, border_computer=self.evaluator.borders
+        )
+        return generator.generate(self.labeling)
+
+    def refine_candidates(
+        self, config: Optional[RefinementConfig] = None
+    ) -> List[ConjunctiveQuery]:
+        search = RefinementSearch(
+            self.system,
+            self.labeling,
+            self.evaluator,
+            score_function=self.scorer.score_value,
+            config=config,
+        )
+        return [query for query, _ in search.search()]
+
+    def search(
+        self,
+        strategy: str = "enumerate",
+        candidate_config: Optional[CandidateConfig] = None,
+        refinement_config: Optional[RefinementConfig] = None,
+        extra_candidates: Iterable[OntologyQuery] = (),
+        top_k: Optional[int] = None,
+    ) -> List[ScoredQuery]:
+        """Build a candidate pool with the chosen strategy and rank it.
+
+        ``strategy`` is one of ``"enumerate"`` (bottom-up), ``"refine"``
+        (top-down beam search) or ``"both"``.
+        """
+        candidates: List[OntologyQuery] = list(extra_candidates)
+        if strategy in ("enumerate", "both"):
+            candidates.extend(self.generate_candidates(candidate_config))
+        if strategy in ("refine", "both"):
+            candidates.extend(self.refine_candidates(refinement_config))
+        if strategy not in ("enumerate", "refine", "both"):
+            raise ExplanationError(
+                f"unknown search strategy {strategy!r}; expected enumerate/refine/both"
+            )
+        seen: Set[Tuple] = set()
+        unique: List[OntologyQuery] = []
+        for candidate in candidates:
+            key = (
+                ("ucq", tuple(sorted(cq.signature() for cq in candidate.disjuncts)))
+                if isinstance(candidate, UnionOfConjunctiveQueries)
+                else ("cq", candidate.signature())
+            )
+            if key not in seen:
+                seen.add(key)
+                unique.append(candidate)
+        ranking = self.rank(unique)
+        return ranking[:top_k] if top_k is not None else ranking
+
+    # -- UCQ construction -----------------------------------------------------------------
+
+    def best_ucq(
+        self,
+        cq_candidates: Sequence[ConjunctiveQuery],
+        max_disjuncts: int = 4,
+    ) -> ScoredQuery:
+        """Greedy construction of the best union of CQs.
+
+        Starts from the best single CQ and adds, at each step, the
+        disjunct that maximises the Z-score of the union; stops when no
+        addition improves the score or ``max_disjuncts`` is reached.
+        """
+        if not cq_candidates:
+            raise ExplanationError("no CQ candidates supplied for UCQ construction")
+        ranking = self.rank(list(cq_candidates))
+        best_single = ranking[0]
+        chosen: List[ConjunctiveQuery] = [best_single.query]  # type: ignore[list-item]
+        best_scored = self.scorer.score(UnionOfConjunctiveQueries(tuple(chosen)))
+        improved = True
+        while improved and len(chosen) < max_disjuncts:
+            improved = False
+            best_extension: Optional[ScoredQuery] = None
+            best_addition: Optional[ConjunctiveQuery] = None
+            for entry in ranking:
+                candidate = entry.query
+                if not isinstance(candidate, ConjunctiveQuery) or candidate in chosen:
+                    continue
+                union = UnionOfConjunctiveQueries(tuple(chosen + [candidate]))
+                scored_union = self.scorer.score(union)
+                if best_extension is None or scored_union.score > best_extension.score:
+                    best_extension = scored_union
+                    best_addition = candidate
+            if best_extension is not None and best_extension.score > best_scored.score:
+                chosen.append(best_addition)  # type: ignore[arg-type]
+                best_scored = best_extension
+                improved = True
+        return best_scored

@@ -1,0 +1,164 @@
+"""Borders of radius ``r`` (Definitions 3.1–3.2, Example 3.3).
+
+Given a source database ``D`` and a tuple ``t`` of constants, the
+*border of radius r* collects the atoms of ``D`` that are "relevant" to
+``t`` up to ``r`` hops of constant-sharing:
+
+* ``W_{t,0}(D)`` — atoms containing a constant of ``t``;
+* ``W_{t,j+1}(D)`` — atoms *reachable from* ``W_{t,j}`` (Definition 3.1:
+  sharing a constant with some atom of the previous layer) that have not
+  appeared in an earlier layer;
+* ``B_{t,r}(D) = ⋃_{0 ≤ i ≤ r} W_{t,i}(D)``.
+
+Layers are computed as breadth-first frontiers over the bipartite
+incidence graph between atoms and constants, which reproduces the
+layering of Example 3.3 exactly (each layer lists only the *new* atoms;
+the union over layers is insensitive to this choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ExplanationError
+from ..obdm.database import SourceDatabase
+from ..queries.atoms import Atom
+from ..queries.terms import Constant
+from .labeling import ConstantTuple, RawTuple, normalize_tuple
+
+
+@dataclass(frozen=True)
+class Border:
+    """The border ``B_{t,r}(D)`` of a tuple, with its per-radius layers."""
+
+    tuple: ConstantTuple
+    radius: int
+    layers: Tuple[FrozenSet[Atom], ...]
+
+    @property
+    def atoms(self) -> FrozenSet[Atom]:
+        """All atoms of the border (union of the layers)."""
+        collected: Set[Atom] = set()
+        for layer in self.layers:
+            collected |= layer
+        return frozenset(collected)
+
+    def layer(self, index: int) -> FrozenSet[Atom]:
+        """``W_{t,index}(D)`` (empty beyond the last non-empty layer)."""
+        if index < 0:
+            raise ExplanationError("layer index must be >= 0")
+        if index < len(self.layers):
+            return self.layers[index]
+        return frozenset()
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Every constant mentioned in the border."""
+        collected: Set[Constant] = set()
+        for atom in self.atoms:
+            collected |= atom.constants()
+        return frozenset(collected)
+
+    def size(self) -> int:
+        return len(self.atoms)
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self.atoms
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def __str__(self):
+        rendered = ", ".join(str(a) for a in sorted(self.atoms))
+        key = ",".join(str(c.value) for c in self.tuple)
+        return "B_{" + key + "}," + str(self.radius) + " = {" + rendered + "}"
+
+
+class BorderComputer:
+    """Computes and caches borders over one source database."""
+
+    def __init__(self, database: SourceDatabase):
+        self.database = database
+        self._cache: Dict[Tuple[ConstantTuple, int], Border] = {}
+
+    # -- layer computation ---------------------------------------------------
+
+    def layers(self, raw: RawTuple, radius: int) -> List[FrozenSet[Atom]]:
+        """The frontiers ``W_{t,0}, ..., W_{t,radius}`` as a list."""
+        if radius < 0:
+            raise ExplanationError(f"radius must be a natural number, got {radius}")
+        key = normalize_tuple(raw)
+        initial: Set[Atom] = set()
+        for constant in key:
+            initial |= self.database.facts_with_constant(constant)
+        layers: List[FrozenSet[Atom]] = [frozenset(initial)]
+        seen_atoms: Set[Atom] = set(initial)
+        seen_constants: Set[Constant] = set(key)
+        for atom in initial:
+            seen_constants |= atom.constants()
+
+        frontier = initial
+        for _ in range(radius):
+            next_frontier: Set[Atom] = set()
+            frontier_constants: Set[Constant] = set()
+            for atom in frontier:
+                frontier_constants |= atom.constants()
+            for constant in frontier_constants:
+                for candidate in self.database.facts_with_constant(constant):
+                    if candidate not in seen_atoms:
+                        next_frontier.add(candidate)
+            layers.append(frozenset(next_frontier))
+            seen_atoms |= next_frontier
+            frontier = next_frontier
+            if not frontier:
+                # All further layers are empty; still record them lazily.
+                break
+        while len(layers) < radius + 1:
+            layers.append(frozenset())
+        return layers
+
+    def border(self, raw: RawTuple, radius: int) -> Border:
+        """The border ``B_{t,radius}(D)`` (cached)."""
+        key = normalize_tuple(raw)
+        cache_key = (key, radius)
+        cached = self._cache.get(cache_key)
+        if cached is None:
+            cached = Border(key, radius, tuple(self.layers(key, radius)))
+            self._cache[cache_key] = cached
+        return cached
+
+    def borders(self, raws: Iterable[RawTuple], radius: int) -> Dict[ConstantTuple, Border]:
+        """Borders of many tuples, keyed by the normalised tuple."""
+        result: Dict[ConstantTuple, Border] = {}
+        for raw in raws:
+            border = self.border(raw, radius)
+            result[border.tuple] = border
+        return result
+
+    # -- analysis helpers ----------------------------------------------------------
+
+    def saturation_radius(self, raw: RawTuple, limit: int = 64) -> int:
+        """Smallest radius after which the border stops growing.
+
+        Useful to choose ``r``: beyond this radius Proposition 3.5 tells
+        us nothing changes for the given tuple.
+        """
+        previous_size = -1
+        for radius in range(limit + 1):
+            border = self.border(raw, radius)
+            if border.size() == previous_size:
+                return radius - 1
+            previous_size = border.size()
+        return limit
+
+    def statistics(self, raws: Iterable[RawTuple], radius: int) -> Dict[str, float]:
+        """Aggregate border-size statistics for a set of tuples."""
+        sizes = [self.border(raw, radius).size() for raw in raws]
+        if not sizes:
+            return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": len(sizes),
+            "min": float(min(sizes)),
+            "max": float(max(sizes)),
+            "mean": sum(sizes) / len(sizes),
+        }

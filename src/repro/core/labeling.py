@@ -1,0 +1,204 @@
+"""Classifier labelings ``λ`` and the sets ``λ+`` / ``λ-``.
+
+The paper models the object to be explained as a partial function
+``λ : dom(D)^n → {+1, -1}``: either the predictions of a (binary)
+classifier over tuples of database constants, or the tagging of a
+training set.  :class:`Labeling` stores the two finite sets ``λ+`` and
+``λ-`` and offers constructors from raw values, from dictionaries and
+from fitted classifiers of :mod:`repro.ml`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import ExplanationError
+from ..obdm.database import SourceDatabase
+from ..queries.terms import Constant
+
+RawTuple = Union[Sequence, str, int, float, bool]
+ConstantTuple = Tuple[Constant, ...]
+
+POSITIVE = 1
+NEGATIVE = -1
+
+
+def normalize_tuple(raw: RawTuple) -> ConstantTuple:
+    """Coerce a raw value or sequence of values into a tuple of constants.
+
+    Scalars become 1-tuples, matching the paper's examples where the
+    classified objects are single constants (students ``A10``, ``B80``...).
+    """
+    if isinstance(raw, Constant):
+        return (raw,)
+    if isinstance(raw, (str, int, float, bool)):
+        return (Constant(raw),)
+    values = tuple(raw)
+    if not values:
+        raise ExplanationError("classified tuples must have arity >= 1")
+    return tuple(v if isinstance(v, Constant) else Constant(v) for v in values)
+
+
+class Labeling:
+    """The partial function ``λ`` represented by its positive/negative sets."""
+
+    def __init__(
+        self,
+        positives: Iterable[RawTuple] = (),
+        negatives: Iterable[RawTuple] = (),
+        name: str = "lambda",
+    ):
+        self.name = name
+        self._positives: Set[ConstantTuple] = {normalize_tuple(t) for t in positives}
+        self._negatives: Set[ConstantTuple] = {normalize_tuple(t) for t in negatives}
+        overlap = self._positives & self._negatives
+        if overlap:
+            examples = ", ".join(str(t) for t in sorted(overlap, key=repr)[:3])
+            raise ExplanationError(
+                f"labeling {name!r} assigns both +1 and -1 to the same tuples: {examples}"
+            )
+        arities = {len(t) for t in self._positives | self._negatives}
+        if len(arities) > 1:
+            raise ExplanationError(
+                f"labeling {name!r} mixes tuple arities: {sorted(arities)}"
+            )
+        self._arity = arities.pop() if arities else 1
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def from_dict(assignments: Dict[RawTuple, int], name: str = "lambda") -> "Labeling":
+        """Build a labeling from ``{tuple: +1/-1}`` assignments."""
+        positives, negatives = [], []
+        for raw, label in assignments.items():
+            if label == POSITIVE:
+                positives.append(raw)
+            elif label == NEGATIVE:
+                negatives.append(raw)
+            else:
+                raise ExplanationError(f"labels must be +1 or -1, got {label!r}")
+        return Labeling(positives, negatives, name)
+
+    @staticmethod
+    def from_predictions(
+        keys: Sequence[RawTuple],
+        predictions: Sequence[int],
+        positive_label: int = 1,
+        name: str = "lambda",
+    ) -> "Labeling":
+        """Build a labeling from parallel sequences of keys and predictions."""
+        if len(keys) != len(predictions):
+            raise ExplanationError(
+                f"{len(keys)} keys but {len(predictions)} predictions"
+            )
+        positives, negatives = [], []
+        for key, prediction in zip(keys, predictions):
+            if prediction == positive_label:
+                positives.append(key)
+            else:
+                negatives.append(key)
+        return Labeling(positives, negatives, name)
+
+    @staticmethod
+    def from_classifier(
+        classifier,
+        features,
+        keys: Sequence[RawTuple],
+        positive_label: int = 1,
+        name: str = "lambda",
+    ) -> "Labeling":
+        """Build a labeling from a fitted :mod:`repro.ml` classifier.
+
+        ``features`` is the matrix passed to ``classifier.predict``; ``keys``
+        gives, for each row, the database tuple the prediction refers to
+        (typically the row's identifier).
+        """
+        predictions = classifier.predict(features)
+        return Labeling.from_predictions(keys, list(predictions), positive_label, name)
+
+    # -- access ----------------------------------------------------------------
+
+    @property
+    def positives(self) -> FrozenSet[ConstantTuple]:
+        """``λ+``: tuples classified positively."""
+        return frozenset(self._positives)
+
+    @property
+    def negatives(self) -> FrozenSet[ConstantTuple]:
+        """``λ-``: tuples classified negatively."""
+        return frozenset(self._negatives)
+
+    @property
+    def arity(self) -> int:
+        """The ``n`` of ``λ : dom(D)^n → {+1, -1}``."""
+        return self._arity
+
+    def tuples(self) -> FrozenSet[ConstantTuple]:
+        """The domain of the partial function (``λ+ ∪ λ-``)."""
+        return frozenset(self._positives | self._negatives)
+
+    def label_of(self, raw: RawTuple) -> Optional[int]:
+        """``+1``, ``-1`` or ``None`` (the function is partial)."""
+        key = normalize_tuple(raw)
+        if key in self._positives:
+            return POSITIVE
+        if key in self._negatives:
+            return NEGATIVE
+        return None
+
+    def __call__(self, raw: RawTuple) -> Optional[int]:
+        return self.label_of(raw)
+
+    def __len__(self) -> int:
+        return len(self._positives) + len(self._negatives)
+
+    def __iter__(self) -> Iterator[Tuple[ConstantTuple, int]]:
+        for positive in sorted(self._positives, key=repr):
+            yield positive, POSITIVE
+        for negative in sorted(self._negatives, key=repr):
+            yield negative, NEGATIVE
+
+    # -- manipulation -------------------------------------------------------------
+
+    def add_positive(self, raw: RawTuple) -> None:
+        key = normalize_tuple(raw)
+        if key in self._negatives:
+            raise ExplanationError(f"{key} is already labelled negative")
+        self._positives.add(key)
+        self._arity = len(key)
+
+    def add_negative(self, raw: RawTuple) -> None:
+        key = normalize_tuple(raw)
+        if key in self._positives:
+            raise ExplanationError(f"{key} is already labelled positive")
+        self._negatives.add(key)
+        self._arity = len(key)
+
+    def inverted(self, name: Optional[str] = None) -> "Labeling":
+        """Swap positives and negatives (explaining the complement class)."""
+        return Labeling(self._negatives, self._positives, name or f"not_{self.name}")
+
+    def restricted_to_domain(self, database: SourceDatabase) -> "Labeling":
+        """Keep only tuples all of whose constants occur in ``dom(D)``."""
+        domain = database.domain()
+        positives = [t for t in self._positives if all(c in domain for c in t)]
+        negatives = [t for t in self._negatives if all(c in domain for c in t)]
+        return Labeling(positives, negatives, self.name)
+
+    def validate_against(self, database: SourceDatabase) -> List[ConstantTuple]:
+        """Return the labelled tuples with constants outside ``dom(D)``."""
+        domain = database.domain()
+        return sorted(
+            (
+                t
+                for t in self._positives | self._negatives
+                if any(c not in domain for c in t)
+            ),
+            key=repr,
+        )
+
+    def __str__(self):
+        return (
+            f"Labeling({self.name!r}: |λ+|={len(self._positives)}, "
+            f"|λ-|={len(self._negatives)}, arity={self._arity})"
+        )

@@ -1,0 +1,207 @@
+"""``J``-matching of borders (Definition 3.4) and match profiles.
+
+A query ``q_O`` *J-matches* the border ``B_{t,r}(D)`` when ``t`` is a
+certain answer of ``q_O`` w.r.t. the OBDM specification ``J`` and the
+sub-database consisting of the border's atoms.  Proposition 3.5 states
+that matching is monotone in the radius: if ``q_O`` matches ``B_{t,r}``
+then it matches ``B_{t,r+1}``.
+
+The :class:`MatchEvaluator` below caches the retrieved ABox of each
+border, because the explanation search evaluates many candidate queries
+against the same set of borders.  :class:`MatchProfile` aggregates, for
+one query, which positive and negative tuples were matched — the raw
+material of the criteria δ1–δ4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import ExplanationError
+from ..obdm.certain_answers import OntologyQuery
+from ..obdm.system import OBDMSystem
+from ..obdm.virtual_abox import VirtualABox
+from ..queries.cq import ConjunctiveQuery
+from ..queries.ucq import UnionOfConjunctiveQueries
+from .border import Border, BorderComputer
+from .labeling import ConstantTuple, Labeling, RawTuple, normalize_tuple
+
+
+@dataclass(frozen=True)
+class MatchProfile:
+    """Which labelled tuples a query matched, split by label."""
+
+    positives_matched: FrozenSet[ConstantTuple]
+    positives_unmatched: FrozenSet[ConstantTuple]
+    negatives_matched: FrozenSet[ConstantTuple]
+    negatives_unmatched: FrozenSet[ConstantTuple]
+
+    # -- counts ---------------------------------------------------------------
+
+    @property
+    def positive_total(self) -> int:
+        return len(self.positives_matched) + len(self.positives_unmatched)
+
+    @property
+    def negative_total(self) -> int:
+        return len(self.negatives_matched) + len(self.negatives_unmatched)
+
+    @property
+    def true_positives(self) -> int:
+        return len(self.positives_matched)
+
+    @property
+    def false_negatives(self) -> int:
+        return len(self.positives_unmatched)
+
+    @property
+    def false_positives(self) -> int:
+        return len(self.negatives_matched)
+
+    @property
+    def true_negatives(self) -> int:
+        return len(self.negatives_unmatched)
+
+    # -- ratios ------------------------------------------------------------------
+
+    def positive_coverage(self) -> float:
+        """Fraction of ``λ+`` matched (the paper's ``f_δ1``)."""
+        if self.positive_total == 0:
+            return 0.0
+        return self.true_positives / self.positive_total
+
+    def negative_exclusion(self) -> float:
+        """Fraction of ``λ-`` *not* matched (the paper's ``f_δ4``)."""
+        if self.negative_total == 0:
+            return 1.0
+        return self.true_negatives / self.negative_total
+
+    def precision(self) -> float:
+        """Matched positives over all matched tuples."""
+        matched = self.true_positives + self.false_positives
+        if matched == 0:
+            return 0.0
+        return self.true_positives / matched
+
+    def recall(self) -> float:
+        return self.positive_coverage()
+
+    def f1(self) -> float:
+        precision, recall = self.precision(), self.recall()
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    def accuracy(self) -> float:
+        total = self.positive_total + self.negative_total
+        if total == 0:
+            return 0.0
+        return (self.true_positives + self.true_negatives) / total
+
+    def is_perfect_separation(self) -> bool:
+        """Conditions (1) and (2) of Section 3: all positives, no negatives."""
+        return not self.positives_unmatched and not self.negatives_matched
+
+    def __str__(self):
+        return (
+            f"MatchProfile(+: {self.true_positives}/{self.positive_total}, "
+            f"-: {self.false_positives}/{self.negative_total} matched)"
+        )
+
+
+class MatchEvaluator:
+    """Evaluates Definition 3.4 for queries against cached borders."""
+
+    def __init__(self, system: OBDMSystem, radius: int = 1, border_computer: Optional[BorderComputer] = None):
+        if radius < 0:
+            raise ExplanationError(f"radius must be a natural number, got {radius}")
+        self.system = system
+        self.radius = radius
+        self.borders = border_computer or BorderComputer(system.database)
+        self._abox_cache: Dict[Tuple[ConstantTuple, int], VirtualABox] = {}
+
+    # -- border ABox handling -----------------------------------------------------
+
+    def border_of(self, raw: RawTuple, radius: Optional[int] = None) -> Border:
+        return self.borders.border(raw, self.radius if radius is None else radius)
+
+    def _border_abox(self, border: Border) -> VirtualABox:
+        key = (border.tuple, border.radius)
+        abox = self._abox_cache.get(key)
+        if abox is None:
+            sub_database = self.system.database.restrict_to(border.atoms)
+            abox = self.system.specification.retrieve_abox(sub_database)
+            self._abox_cache[key] = abox
+        return abox
+
+    # -- Definition 3.4 -----------------------------------------------------------
+
+    def matches(self, query: OntologyQuery, raw: RawTuple, radius: Optional[int] = None) -> bool:
+        """``True`` iff *query* J-matches ``B_{t,radius}(D)`` for ``t = raw``."""
+        border = self.border_of(raw, radius)
+        return self.matches_border(query, border)
+
+    def matches_border(self, query: OntologyQuery, border: Border) -> bool:
+        """``True`` iff *query* J-matches the given precomputed border."""
+        key = normalize_tuple(border.tuple)
+        if self._query_arity(query) != len(key):
+            return False
+        # The retrieved ABox of the border sub-database is cached; once it is
+        # available the source database itself is not consulted again, so the
+        # full database can be passed without building the restriction.
+        abox = self._border_abox(border)
+        return self.system.specification.is_certain_answer(
+            query, key, self.system.database, abox=abox
+        )
+
+    @staticmethod
+    def _query_arity(query: OntologyQuery) -> int:
+        return query.arity
+
+    # -- batch evaluation --------------------------------------------------------------
+
+    def match_set(
+        self, query: OntologyQuery, raws: Iterable[RawTuple], radius: Optional[int] = None
+    ) -> Set[ConstantTuple]:
+        """The subset of *raws* whose borders the query J-matches."""
+        matched: Set[ConstantTuple] = set()
+        for raw in raws:
+            border = self.border_of(raw, radius)
+            if self.matches_border(query, border):
+                matched.add(border.tuple)
+        return matched
+
+    def profile(
+        self, query: OntologyQuery, labeling: Labeling, radius: Optional[int] = None
+    ) -> MatchProfile:
+        """Full match profile of a query against a labeling."""
+        positives = {normalize_tuple(t) for t in labeling.positives}
+        negatives = {normalize_tuple(t) for t in labeling.negatives}
+        positives_matched = self.match_set(query, positives, radius)
+        negatives_matched = self.match_set(query, negatives, radius)
+        return MatchProfile(
+            positives_matched=frozenset(positives_matched),
+            positives_unmatched=frozenset(positives - positives_matched),
+            negatives_matched=frozenset(negatives_matched),
+            negatives_unmatched=frozenset(negatives - negatives_matched),
+        )
+
+    # -- Proposition 3.5 ------------------------------------------------------------------
+
+    def is_monotone_in_radius(
+        self, query: OntologyQuery, raw: RawTuple, max_radius: int
+    ) -> bool:
+        """Empirically check Proposition 3.5 for one query and one tuple.
+
+        Returns ``True`` when, for every ``r < max_radius``, a match at
+        radius ``r`` implies a match at radius ``r + 1`` (this should
+        always hold; the property tests rely on it).
+        """
+        previous = None
+        for radius in range(max_radius + 1):
+            current = self.matches(query, raw, radius)
+            if previous is True and current is False:
+                return False
+            previous = current
+        return True

@@ -1,0 +1,58 @@
+"""Description Logic substrate: DL-Lite_R syntax, ontologies, reasoning, parsing."""
+
+from .normalize import flatten_role, normalize, normalize_axiom, positive_closure
+from .ontology import Ontology, disjoint, domain_of, range_of, subclass, subrole
+from .parser import parse_axiom, parse_axioms, parse_ontology
+from .reasoner import Reasoner, invert
+from .syntax import (
+    AtomicConcept,
+    AtomicRole,
+    Axiom,
+    BasicConcept,
+    Concept,
+    ConceptInclusion,
+    ExistentialRestriction,
+    InverseRole,
+    NegatedConcept,
+    NegatedRole,
+    Role,
+    RoleInclusion,
+    exists,
+    is_basic_concept,
+    is_inverse,
+    role_of,
+)
+
+__all__ = [
+    "AtomicConcept",
+    "AtomicRole",
+    "Axiom",
+    "BasicConcept",
+    "Concept",
+    "ConceptInclusion",
+    "ExistentialRestriction",
+    "InverseRole",
+    "NegatedConcept",
+    "NegatedRole",
+    "Ontology",
+    "Reasoner",
+    "Role",
+    "RoleInclusion",
+    "disjoint",
+    "domain_of",
+    "exists",
+    "flatten_role",
+    "invert",
+    "is_basic_concept",
+    "is_inverse",
+    "normalize",
+    "normalize_axiom",
+    "parse_axiom",
+    "parse_axioms",
+    "parse_ontology",
+    "positive_closure",
+    "range_of",
+    "subclass",
+    "subrole",
+    "role_of",
+]

@@ -1,0 +1,105 @@
+"""Normalisation utilities for DL-Lite_R TBoxes.
+
+Normalisation keeps the reasoner and the rewriting engine simple by
+guaranteeing a few structural invariants:
+
+* duplicate axioms are removed;
+* trivially redundant axioms (``B ⊑ B``, ``R ⊑ R``) are dropped;
+* double inverses are flattened (``(P⁻)⁻`` becomes ``P``) — these can be
+  produced by programmatic ontology construction;
+* optionally, the deductive closure of positive inclusions is
+  materialised (useful to inspect what the reasoner entails, and in
+  tests as an independent oracle for subsumption).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from .ontology import Ontology
+from .reasoner import Reasoner
+from .syntax import (
+    AtomicConcept,
+    AtomicRole,
+    Axiom,
+    BasicConcept,
+    ConceptInclusion,
+    ExistentialRestriction,
+    InverseRole,
+    NegatedConcept,
+    NegatedRole,
+    Role,
+    RoleInclusion,
+)
+
+
+def flatten_role(role: Role) -> Role:
+    """Remove double inverses: ``inv(inv(P)) -> P``."""
+    while isinstance(role, InverseRole) and isinstance(role.role, InverseRole):
+        role = role.role.role
+    return role
+
+
+def _flatten_concept(concept):
+    if isinstance(concept, ExistentialRestriction):
+        return ExistentialRestriction(flatten_role(concept.role))
+    if isinstance(concept, NegatedConcept):
+        return NegatedConcept(_flatten_concept(concept.concept))
+    return concept
+
+
+def normalize_axiom(axiom: Axiom) -> Axiom:
+    """Return the axiom with flattened role expressions."""
+    if isinstance(axiom, ConceptInclusion):
+        return ConceptInclusion(_flatten_concept(axiom.lhs), _flatten_concept(axiom.rhs))
+    rhs = axiom.rhs
+    if isinstance(rhs, NegatedRole):
+        rhs = NegatedRole(flatten_role(rhs.role))
+    else:
+        rhs = flatten_role(rhs)
+    return RoleInclusion(flatten_role(axiom.lhs), rhs)
+
+
+def _is_trivial(axiom: Axiom) -> bool:
+    if isinstance(axiom, ConceptInclusion):
+        return axiom.lhs == axiom.rhs
+    return axiom.lhs == axiom.rhs
+
+
+def normalize(ontology: Ontology) -> Ontology:
+    """Return a normalised copy of the ontology (same entailments)."""
+    seen: Set[Axiom] = set()
+    normalized_axioms: List[Axiom] = []
+    for axiom in ontology.axioms:
+        normalized = normalize_axiom(axiom)
+        if _is_trivial(normalized) or normalized in seen:
+            continue
+        seen.add(normalized)
+        normalized_axioms.append(normalized)
+    return Ontology(
+        normalized_axioms,
+        ontology.concept_names,
+        ontology.role_names,
+        ontology.name,
+    )
+
+
+def positive_closure(ontology: Ontology) -> Tuple[Set[Tuple[BasicConcept, BasicConcept]], Set[Tuple[Role, Role]]]:
+    """Materialise all entailed positive subsumptions.
+
+    Returns ``(concept_pairs, role_pairs)`` where each pair ``(x, y)``
+    means ``O ⊨ x ⊑ y`` and ``x != y``.
+    """
+    reasoner = Reasoner(ontology)
+    concept_pairs = reasoner.concept_hierarchy_pairs()
+    role_pairs: Set[Tuple[Role, Role]] = set()
+    roles: Set[Role] = set()
+    for name in ontology.role_names:
+        atomic = AtomicRole(name)
+        roles.add(atomic)
+        roles.add(atomic.inverse())
+    for role in roles:
+        for subsumer in reasoner.role_subsumers(role):
+            if subsumer != role:
+                role_pairs.add((role, subsumer))
+    return concept_pairs, role_pairs

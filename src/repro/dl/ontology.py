@@ -1,0 +1,192 @@
+"""The ontology (TBox) container.
+
+An :class:`Ontology` is a finite set of DL-Lite_R axioms together with a
+declared vocabulary of concept and role names.  Declaring vocabulary
+explicitly (in addition to whatever appears in axioms) matters because
+mapping assertions may target concepts or roles that no axiom mentions
+— in the paper's Example 3.6, ``taughtIn`` and ``locatedIn`` appear only
+in the mapping, while the single axiom is ``studies ⊑ likes``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import OntologyError
+from .syntax import (
+    AtomicConcept,
+    AtomicRole,
+    Axiom,
+    BasicConcept,
+    Concept,
+    ConceptInclusion,
+    ExistentialRestriction,
+    InverseRole,
+    NegatedConcept,
+    NegatedRole,
+    Role,
+    RoleInclusion,
+    concept_vocabulary,
+    is_basic_concept,
+)
+
+
+class Ontology:
+    """A DL-Lite_R TBox with an explicit vocabulary."""
+
+    def __init__(
+        self,
+        axioms: Iterable[Axiom] = (),
+        concept_names: Iterable[str] = (),
+        role_names: Iterable[str] = (),
+        name: str = "ontology",
+    ):
+        self.name = name
+        self._axioms: List[Axiom] = []
+        self._concept_names: Set[str] = set(concept_names)
+        self._role_names: Set[str] = set(role_names)
+        for axiom in axioms:
+            self.add_axiom(axiom)
+
+    # -- construction ------------------------------------------------------
+
+    def add_axiom(self, axiom: Axiom) -> None:
+        """Add an axiom and register its vocabulary."""
+        if not isinstance(axiom, (ConceptInclusion, RoleInclusion)):
+            raise OntologyError(f"unsupported axiom type: {type(axiom).__name__}")
+        concepts, roles = concept_vocabulary(axiom)
+        self._concept_names |= concepts
+        self._role_names |= roles
+        if axiom not in self._axioms:
+            self._axioms.append(axiom)
+
+    def add_axioms(self, axioms: Iterable[Axiom]) -> None:
+        for axiom in axioms:
+            self.add_axiom(axiom)
+
+    def declare_concept(self, name: str) -> AtomicConcept:
+        """Declare (or look up) a concept name in the vocabulary."""
+        self._concept_names.add(name)
+        return AtomicConcept(name)
+
+    def declare_role(self, name: str) -> AtomicRole:
+        """Declare (or look up) a role name in the vocabulary."""
+        self._role_names.add(name)
+        return AtomicRole(name)
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def axioms(self) -> Tuple[Axiom, ...]:
+        return tuple(self._axioms)
+
+    @property
+    def concept_names(self) -> FrozenSet[str]:
+        return frozenset(self._concept_names)
+
+    @property
+    def role_names(self) -> FrozenSet[str]:
+        return frozenset(self._role_names)
+
+    def vocabulary(self) -> FrozenSet[str]:
+        """All ontology predicate symbols (concepts are unary, roles binary)."""
+        return frozenset(self._concept_names | self._role_names)
+
+    def arity_of(self, predicate: str) -> int:
+        """Arity of an ontology predicate: 1 for concepts, 2 for roles."""
+        if predicate in self._concept_names:
+            return 1
+        if predicate in self._role_names:
+            return 2
+        raise OntologyError(
+            f"predicate {predicate!r} is not in the vocabulary of ontology {self.name!r}"
+        )
+
+    def has_predicate(self, predicate: str) -> bool:
+        return predicate in self._concept_names or predicate in self._role_names
+
+    def concept_inclusions(self) -> List[ConceptInclusion]:
+        return [a for a in self._axioms if isinstance(a, ConceptInclusion)]
+
+    def role_inclusions(self) -> List[RoleInclusion]:
+        return [a for a in self._axioms if isinstance(a, RoleInclusion)]
+
+    def positive_concept_inclusions(self) -> List[ConceptInclusion]:
+        return [a for a in self.concept_inclusions() if a.is_positive()]
+
+    def positive_role_inclusions(self) -> List[RoleInclusion]:
+        return [a for a in self.role_inclusions() if a.is_positive()]
+
+    def negative_concept_inclusions(self) -> List[ConceptInclusion]:
+        return [a for a in self.concept_inclusions() if not a.is_positive()]
+
+    def negative_role_inclusions(self) -> List[RoleInclusion]:
+        return [a for a in self.role_inclusions() if not a.is_positive()]
+
+    def __len__(self) -> int:
+        return len(self._axioms)
+
+    def __iter__(self) -> Iterator[Axiom]:
+        return iter(self._axioms)
+
+    def __contains__(self, axiom: Axiom) -> bool:
+        return axiom in self._axioms
+
+    def copy(self) -> "Ontology":
+        return Ontology(self._axioms, self._concept_names, self._role_names, self.name)
+
+    def __str__(self):
+        lines = [f"Ontology {self.name!r}:"]
+        lines += [f"  {axiom}" for axiom in self._axioms]
+        lines.append(f"  concepts: {sorted(self._concept_names)}")
+        lines.append(f"  roles: {sorted(self._role_names)}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Convenience builders
+# ---------------------------------------------------------------------------
+
+def subclass(lhs: Union[str, BasicConcept], rhs: Union[str, Concept]) -> ConceptInclusion:
+    """Shorthand for a concept inclusion given names or concept objects."""
+    if isinstance(lhs, str):
+        lhs = AtomicConcept(lhs)
+    if isinstance(rhs, str):
+        rhs = AtomicConcept(rhs)
+    return ConceptInclusion(lhs, rhs)
+
+
+def subrole(lhs: Union[str, Role], rhs: Union[str, Role, NegatedRole]) -> RoleInclusion:
+    """Shorthand for a role inclusion given names or role objects."""
+    if isinstance(lhs, str):
+        lhs = AtomicRole(lhs)
+    if isinstance(rhs, str):
+        rhs = AtomicRole(rhs)
+    return RoleInclusion(lhs, rhs)
+
+
+def domain_of(role: Union[str, Role], concept: Union[str, Concept]) -> ConceptInclusion:
+    """Domain axiom ``∃R ⊑ C``."""
+    if isinstance(role, str):
+        role = AtomicRole(role)
+    if isinstance(concept, str):
+        concept = AtomicConcept(concept)
+    return ConceptInclusion(ExistentialRestriction(role), concept)
+
+
+def range_of(role: Union[str, Role], concept: Union[str, Concept]) -> ConceptInclusion:
+    """Range axiom ``∃R⁻ ⊑ C``."""
+    if isinstance(role, str):
+        role = AtomicRole(role)
+    if isinstance(concept, str):
+        concept = AtomicConcept(concept)
+    return ConceptInclusion(ExistentialRestriction(role.inverse() if isinstance(role, AtomicRole) else role), concept)
+
+
+def disjoint(lhs: Union[str, BasicConcept], rhs: Union[str, BasicConcept]) -> ConceptInclusion:
+    """Disjointness axiom ``B1 ⊑ ¬B2``."""
+    if isinstance(lhs, str):
+        lhs = AtomicConcept(lhs)
+    if isinstance(rhs, str):
+        rhs = AtomicConcept(rhs)
+    return ConceptInclusion(lhs, NegatedConcept(rhs))

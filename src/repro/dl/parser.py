@@ -1,0 +1,177 @@
+"""Textual syntax for DL-Lite_R axioms.
+
+The accepted syntax mirrors the paper's notation in ASCII::
+
+    studies [= likes                      # role inclusion
+    Student [= Person                     # concept inclusion
+    exists teaches [= Teacher             # domain axiom
+    exists teaches- [= Course             # range axiom (inverse role)
+    Student [= exists enrolledIn          # mandatory participation
+    Undergraduate [= not Graduate         # disjointness
+    teaches [= not attends                # role disjointness
+
+``⊑`` may be used instead of ``[=``; ``inv(R)`` instead of ``R-``.
+Whether a name denotes a concept or a role is decided by capitalisation
+(concepts start with an upper-case letter, roles with a lower-case
+letter), which matches the convention used throughout the paper's
+examples (``studies``, ``likes`` vs ``STUD``-style source relations).
+A declared :class:`~repro.dl.ontology.Ontology` vocabulary, when passed
+in, overrides the capitalisation heuristic.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Union
+
+from ..errors import OntologyParseError
+from .ontology import Ontology
+from .syntax import (
+    AtomicConcept,
+    AtomicRole,
+    Axiom,
+    BasicConcept,
+    Concept,
+    ConceptInclusion,
+    ExistentialRestriction,
+    NegatedConcept,
+    NegatedRole,
+    Role,
+    RoleInclusion,
+)
+
+_INCLUSION_RE = re.compile(r"\s*(?:\[=|⊑|<=|subClassOf|subPropertyOf)\s*")
+_INVERSE_SUFFIX = re.compile(r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*(?:-|\^-|⁻)$")
+_INVERSE_FUNCTION = re.compile(r"^inv\(\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\)$")
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _parse_role(text: str) -> Role:
+    text = text.strip()
+    match = _INVERSE_SUFFIX.match(text) or _INVERSE_FUNCTION.match(text)
+    if match:
+        return AtomicRole(match.group("name")).inverse()
+    if not _NAME_RE.match(text):
+        raise OntologyParseError(f"cannot parse role expression {text!r}")
+    return AtomicRole(text)
+
+
+def _looks_like_concept(name: str, ontology: Optional[Ontology]) -> bool:
+    if ontology is not None:
+        if name in ontology.concept_names:
+            return True
+        if name in ontology.role_names:
+            return False
+    return name[0].isupper()
+
+
+def _parse_side(text: str, ontology: Optional[Ontology]) -> Union[Concept, Role, NegatedRole]:
+    """Parse one side of an inclusion into a concept or role expression."""
+    text = text.strip()
+    if not text:
+        raise OntologyParseError("empty side of an inclusion")
+
+    negated = False
+    lowered = text.lower()
+    if lowered.startswith("not "):
+        negated = True
+        text = text[4:].strip()
+    elif text.startswith("¬"):
+        negated = True
+        text = text[1:].strip()
+
+    lowered = text.lower()
+    if lowered.startswith("exists ") or text.startswith("∃"):
+        remainder = text[7:] if lowered.startswith("exists ") else text[1:]
+        role = _parse_role(remainder)
+        concept: Concept = ExistentialRestriction(role)
+        return NegatedConcept(concept) if negated else concept
+
+    # A bare name or inverse role.
+    inverse_match = _INVERSE_SUFFIX.match(text) or _INVERSE_FUNCTION.match(text)
+    if inverse_match:
+        role = AtomicRole(inverse_match.group("name")).inverse()
+        return NegatedRole(role) if negated else role
+    if not _NAME_RE.match(text):
+        raise OntologyParseError(f"cannot parse expression {text!r}")
+    if _looks_like_concept(text, ontology):
+        concept = AtomicConcept(text)
+        return NegatedConcept(concept) if negated else concept
+    role = AtomicRole(text)
+    return NegatedRole(role) if negated else role
+
+
+def parse_axiom(text: str, ontology: Optional[Ontology] = None) -> Axiom:
+    """Parse a single axiom from its textual form."""
+    text = text.strip()
+    if not text:
+        raise OntologyParseError("empty axiom text")
+    parts = _INCLUSION_RE.split(text)
+    if len(parts) != 2:
+        raise OntologyParseError(
+            f"expected exactly one inclusion symbol ('[=' or '⊑') in {text!r}"
+        )
+    lhs = _parse_side(parts[0], ontology)
+    rhs = _parse_side(parts[1], ontology)
+
+    lhs_is_concept = isinstance(lhs, (AtomicConcept, ExistentialRestriction, NegatedConcept))
+    rhs_is_concept = isinstance(rhs, (AtomicConcept, ExistentialRestriction, NegatedConcept))
+
+    if isinstance(lhs, (NegatedConcept, NegatedRole)):
+        raise OntologyParseError(f"negation is not allowed on the left-hand side: {text!r}")
+
+    # Resolve mixed interpretations caused by the capitalisation heuristic:
+    # if one side is clearly a concept (existential or declared), interpret
+    # bare names on the other side as concepts too, and vice versa.
+    if lhs_is_concept != rhs_is_concept:
+        if lhs_is_concept:
+            if isinstance(rhs, AtomicRole):
+                rhs = AtomicConcept(rhs.name)
+                rhs_is_concept = True
+            elif isinstance(rhs, NegatedRole) and isinstance(rhs.role, AtomicRole):
+                rhs = NegatedConcept(AtomicConcept(rhs.role.name))
+                rhs_is_concept = True
+        else:
+            if isinstance(lhs, AtomicRole):
+                lhs = AtomicConcept(lhs.name)
+                lhs_is_concept = True
+        if lhs_is_concept != rhs_is_concept:
+            raise OntologyParseError(
+                f"cannot mix a concept and a role in one inclusion: {text!r}"
+            )
+
+    if lhs_is_concept:
+        return ConceptInclusion(lhs, rhs)
+    return RoleInclusion(lhs, rhs)
+
+
+def parse_axioms(text: str, ontology: Optional[Ontology] = None) -> List[Axiom]:
+    """Parse several axioms separated by newlines, ``;`` or ``.`` lines.
+
+    Lines starting with ``#`` or ``//`` are comments.
+    """
+    axioms: List[Axiom] = []
+    for raw_line in re.split(r"[;\n]+", text):
+        line = raw_line.strip().rstrip(".")
+        if not line or line.startswith("#") or line.startswith("//"):
+            continue
+        axioms.append(parse_axiom(line, ontology))
+    return axioms
+
+
+def parse_ontology(
+    text: str,
+    concept_names: Iterable[str] = (),
+    role_names: Iterable[str] = (),
+    name: str = "ontology",
+) -> Ontology:
+    """Parse a whole ontology from text.
+
+    *concept_names* / *role_names* pre-declare vocabulary so that names
+    that never appear in axioms (mapping-only predicates) are known, and
+    so that the capitalisation heuristic can be overridden.
+    """
+    ontology = Ontology((), concept_names, role_names, name)
+    for axiom in parse_axioms(text, ontology):
+        ontology.add_axiom(axiom)
+    return ontology

@@ -1,0 +1,252 @@
+"""TBox reasoning for DL-Lite_R.
+
+The reasoner answers the structural questions needed by the OBDM layer
+and by the explanation framework:
+
+* role subsumption (``R ⊑? S``), taking inverses into account;
+* basic-concept subsumption (``B1 ⊑? B2``), taking the role hierarchy
+  into account (``R ⊑ S`` entails ``∃R ⊑ ∃S`` and ``∃R⁻ ⊑ ∃S⁻``);
+* the full sets of subsumers/subsumees of a basic concept or role
+  (used by query rewriting and candidate-explanation generalisation);
+* disjointness entailment and ABox consistency checking.
+
+DL-Lite subsumption reduces to reachability over a graph whose nodes
+are basic concepts (respectively roles) and whose edges are the direct
+positive inclusions plus those induced by the role hierarchy, so the
+implementation below is a cached breadth-first closure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
+
+from ..queries.atoms import Atom
+from .ontology import Ontology
+from .syntax import (
+    AtomicConcept,
+    AtomicRole,
+    BasicConcept,
+    ConceptInclusion,
+    ExistentialRestriction,
+    InverseRole,
+    NegatedConcept,
+    NegatedRole,
+    Role,
+    RoleInclusion,
+    is_basic_concept,
+)
+
+
+def invert(role: Role) -> Role:
+    """The inverse of a role (``(P⁻)⁻ = P``)."""
+    return role.inverse()
+
+
+class Reasoner:
+    """Cached structural reasoner over a DL-Lite_R ontology."""
+
+    def __init__(self, ontology: Ontology):
+        self.ontology = ontology
+        self._role_successors: Dict[Role, Set[Role]] = {}
+        self._role_predecessors: Dict[Role, Set[Role]] = {}
+        self._concept_successors: Dict[BasicConcept, Set[BasicConcept]] = {}
+        self._concept_predecessors: Dict[BasicConcept, Set[BasicConcept]] = {}
+        self._subsumer_cache: Dict[BasicConcept, FrozenSet[BasicConcept]] = {}
+        self._subsumee_cache: Dict[BasicConcept, FrozenSet[BasicConcept]] = {}
+        self._role_subsumer_cache: Dict[Role, FrozenSet[Role]] = {}
+        self._role_subsumee_cache: Dict[Role, FrozenSet[Role]] = {}
+        self._build_graphs()
+
+    # -- graph construction ----------------------------------------------
+
+    def _add_role_edge(self, lhs: Role, rhs: Role) -> None:
+        self._role_successors.setdefault(lhs, set()).add(rhs)
+        self._role_predecessors.setdefault(rhs, set()).add(lhs)
+
+    def _add_concept_edge(self, lhs: BasicConcept, rhs: BasicConcept) -> None:
+        self._concept_successors.setdefault(lhs, set()).add(rhs)
+        self._concept_predecessors.setdefault(rhs, set()).add(lhs)
+
+    def _build_graphs(self) -> None:
+        for axiom in self.ontology.positive_role_inclusions():
+            rhs = axiom.rhs
+            assert not isinstance(rhs, NegatedRole)
+            self._add_role_edge(axiom.lhs, rhs)
+            self._add_role_edge(invert(axiom.lhs), invert(rhs))
+        for axiom in self.ontology.positive_concept_inclusions():
+            rhs = axiom.rhs
+            assert is_basic_concept(rhs)
+            self._add_concept_edge(axiom.lhs, rhs)
+
+    # -- role reasoning -------------------------------------------------------
+
+    def role_subsumers(self, role: Role) -> FrozenSet[Role]:
+        """All roles ``S`` with ``O ⊨ role ⊑ S`` (reflexive)."""
+        cached = self._role_subsumer_cache.get(role)
+        if cached is None:
+            cached = frozenset(self._closure(role, self._role_successors))
+            self._role_subsumer_cache[role] = cached
+        return cached
+
+    def role_subsumees(self, role: Role) -> FrozenSet[Role]:
+        """All roles ``S`` with ``O ⊨ S ⊑ role`` (reflexive)."""
+        cached = self._role_subsumee_cache.get(role)
+        if cached is None:
+            cached = frozenset(self._closure(role, self._role_predecessors))
+            self._role_subsumee_cache[role] = cached
+        return cached
+
+    def is_role_subsumed(self, sub: Role, sup: Role) -> bool:
+        """``True`` iff ``O ⊨ sub ⊑ sup``."""
+        return sup in self.role_subsumers(sub)
+
+    # -- concept reasoning -------------------------------------------------------
+
+    def _concept_successors_of(self, concept: BasicConcept) -> Set[BasicConcept]:
+        successors = set(self._concept_successors.get(concept, set()))
+        if isinstance(concept, ExistentialRestriction):
+            for role in self._role_successors.get(concept.role, set()):
+                successors.add(ExistentialRestriction(role))
+        return successors
+
+    def _concept_predecessors_of(self, concept: BasicConcept) -> Set[BasicConcept]:
+        predecessors = set(self._concept_predecessors.get(concept, set()))
+        if isinstance(concept, ExistentialRestriction):
+            for role in self._role_predecessors.get(concept.role, set()):
+                predecessors.add(ExistentialRestriction(role))
+        return predecessors
+
+    def subsumers(self, concept: BasicConcept) -> FrozenSet[BasicConcept]:
+        """All basic concepts ``C`` with ``O ⊨ concept ⊑ C`` (reflexive)."""
+        cached = self._subsumer_cache.get(concept)
+        if cached is None:
+            cached = frozenset(self._closure(concept, None, self._concept_successors_of))
+            self._subsumer_cache[concept] = cached
+        return cached
+
+    def subsumees(self, concept: BasicConcept) -> FrozenSet[BasicConcept]:
+        """All basic concepts ``C`` with ``O ⊨ C ⊑ concept`` (reflexive)."""
+        cached = self._subsumee_cache.get(concept)
+        if cached is None:
+            cached = frozenset(self._closure(concept, None, self._concept_predecessors_of))
+            self._subsumee_cache[concept] = cached
+        return cached
+
+    def is_subsumed(self, sub: BasicConcept, sup: BasicConcept) -> bool:
+        """``True`` iff ``O ⊨ sub ⊑ sup``."""
+        return sup in self.subsumers(sub)
+
+    # -- closure helper ------------------------------------------------------------
+
+    @staticmethod
+    def _closure(start, adjacency: Optional[Dict], successor_function=None) -> Set:
+        reached = {start}
+        frontier = deque([start])
+        while frontier:
+            node = frontier.popleft()
+            if successor_function is not None:
+                successors = successor_function(node)
+            else:
+                successors = adjacency.get(node, set())
+            for successor in successors:
+                if successor not in reached:
+                    reached.add(successor)
+                    frontier.append(successor)
+        return reached
+
+    # -- classification --------------------------------------------------------------
+
+    def all_basic_concepts(self) -> Set[BasicConcept]:
+        """Every basic concept over the ontology vocabulary."""
+        concepts: Set[BasicConcept] = {
+            AtomicConcept(name) for name in self.ontology.concept_names
+        }
+        for name in self.ontology.role_names:
+            role = AtomicRole(name)
+            concepts.add(ExistentialRestriction(role))
+            concepts.add(ExistentialRestriction(role.inverse()))
+        return concepts
+
+    def classify(self) -> Dict[BasicConcept, FrozenSet[BasicConcept]]:
+        """Map every basic concept to its full set of subsumers."""
+        return {concept: self.subsumers(concept) for concept in self.all_basic_concepts()}
+
+    def concept_hierarchy_pairs(self) -> Set[Tuple[BasicConcept, BasicConcept]]:
+        """All entailed pairs ``(B1, B2)`` with ``B1 ⊑ B2`` and ``B1 != B2``."""
+        pairs: Set[Tuple[BasicConcept, BasicConcept]] = set()
+        for concept in self.all_basic_concepts():
+            for subsumer in self.subsumers(concept):
+                if subsumer != concept:
+                    pairs.add((concept, subsumer))
+        return pairs
+
+    # -- disjointness and consistency ---------------------------------------------------
+
+    def entailed_disjointness(self) -> Set[Tuple[BasicConcept, BasicConcept]]:
+        """All pairs of basic concepts entailed to be disjoint.
+
+        ``B1`` and ``B2`` are disjoint when there is a negative inclusion
+        ``C1 ⊑ ¬C2`` such that ``B1 ⊑ C1`` and ``B2 ⊑ C2`` (or symmetrically).
+        """
+        disjoint_pairs: Set[Tuple[BasicConcept, BasicConcept]] = set()
+        for axiom in self.ontology.negative_concept_inclusions():
+            negated = axiom.rhs
+            assert isinstance(negated, NegatedConcept)
+            left_subsumees = self.subsumees(axiom.lhs)
+            right_subsumees = self.subsumees(negated.concept)
+            for left in left_subsumees:
+                for right in right_subsumees:
+                    disjoint_pairs.add((left, right))
+                    disjoint_pairs.add((right, left))
+        return disjoint_pairs
+
+    def are_disjoint(self, first: BasicConcept, second: BasicConcept) -> bool:
+        """``True`` iff the ontology entails ``first ⊓ second ⊑ ⊥``."""
+        return (first, second) in self.entailed_disjointness()
+
+    def is_concept_satisfiable(self, concept: BasicConcept) -> bool:
+        """A basic concept is unsatisfiable iff it is disjoint from itself."""
+        return not self.are_disjoint(concept, concept)
+
+    def check_abox_consistency(self, facts: Iterable[Atom]) -> List[Tuple[str, Atom, Atom]]:
+        """Check an ABox (set of ontology facts) against disjointness axioms.
+
+        Returns a list of violations ``(individual, fact1, fact2)``; an
+        empty list means the ABox is consistent with the TBox's negative
+        inclusions.  Membership is computed on the saturated view: an
+        individual belongs to every subsumer of the concepts its facts
+        assert directly.
+        """
+        facts = list(facts)
+        memberships: Dict[str, Set[BasicConcept]] = {}
+        witnesses: Dict[Tuple[str, BasicConcept], Atom] = {}
+
+        def record(individual, concept: BasicConcept, fact: Atom) -> None:
+            for subsumer in self.subsumers(concept):
+                memberships.setdefault(individual, set()).add(subsumer)
+                witnesses.setdefault((individual, subsumer), fact)
+
+        for fact in facts:
+            if fact.arity == 1 and fact.predicate in self.ontology.concept_names:
+                record(fact.args[0], AtomicConcept(fact.predicate), fact)
+            elif fact.arity == 2 and fact.predicate in self.ontology.role_names:
+                role = AtomicRole(fact.predicate)
+                record(fact.args[0], ExistentialRestriction(role), fact)
+                record(fact.args[1], ExistentialRestriction(role.inverse()), fact)
+
+        violations: List[Tuple[str, Atom, Atom]] = []
+        disjoint_pairs = self.entailed_disjointness()
+        for individual, concepts in memberships.items():
+            concept_list = sorted(concepts, key=str)
+            for i, first in enumerate(concept_list):
+                for second in concept_list[i:]:
+                    if (first, second) in disjoint_pairs:
+                        violations.append(
+                            (
+                                str(individual),
+                                witnesses[(individual, first)],
+                                witnesses[(individual, second)],
+                            )
+                        )
+        return violations

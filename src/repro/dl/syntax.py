@@ -1,0 +1,223 @@
+"""Syntax of the ontology language (DL-Lite_R).
+
+The paper assumes the ontology is formulated in a Description Logic and
+relies on the OBDM/OBDA literature (DL-Lite_A and relatives) for
+decidability and first-order rewritability of query answering.  We
+implement DL-Lite_R, the member of the DL-Lite family underlying
+OWL 2 QL:
+
+* roles:            ``R ::= P | P⁻``
+* basic concepts:   ``B ::= A | ∃R``
+* general concepts: ``C ::= B | ¬B``        (negation only on right-hand sides)
+* general roles:    ``E ::= R | ¬R``
+* TBox axioms:      ``B ⊑ C`` (concept inclusion), ``R ⊑ E`` (role inclusion)
+
+Positive inclusions (no negation on the right) drive query rewriting;
+negative inclusions (disjointness) drive consistency checking.
+
+All syntax objects are immutable and hashable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from ..errors import OntologyError
+
+
+# ---------------------------------------------------------------------------
+# Roles
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, order=True)
+class AtomicRole:
+    """A role (binary predicate) name, e.g. ``studies``."""
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name:
+            raise OntologyError("role name must be non-empty")
+
+    def inverse(self) -> "InverseRole":
+        return InverseRole(self)
+
+    @property
+    def predicate(self) -> str:
+        """The predicate symbol used for this role in query atoms."""
+        return self.name
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class InverseRole:
+    """The inverse ``P⁻`` of an atomic role ``P``."""
+
+    role: AtomicRole
+
+    def inverse(self) -> AtomicRole:
+        return self.role
+
+    @property
+    def predicate(self) -> str:
+        return self.role.name
+
+    def __str__(self):
+        return f"{self.role.name}^-"
+
+
+Role = Union[AtomicRole, InverseRole]
+
+
+def role_of(name: str, inverse: bool = False) -> Role:
+    """Build a role from its name; ``inverse=True`` yields ``name⁻``."""
+    atomic = AtomicRole(name)
+    return atomic.inverse() if inverse else atomic
+
+
+def is_inverse(role: Role) -> bool:
+    return isinstance(role, InverseRole)
+
+
+# ---------------------------------------------------------------------------
+# Concepts
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, order=True)
+class AtomicConcept:
+    """A concept (unary predicate) name, e.g. ``Student``."""
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name:
+            raise OntologyError("concept name must be non-empty")
+
+    @property
+    def predicate(self) -> str:
+        return self.name
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class ExistentialRestriction:
+    """The unqualified existential ``∃R`` (objects with at least one R-filler)."""
+
+    role: Role
+
+    def __str__(self):
+        return f"exists {self.role}"
+
+
+BasicConcept = Union[AtomicConcept, ExistentialRestriction]
+
+
+@dataclass(frozen=True, order=True)
+class NegatedConcept:
+    """``¬B`` — only allowed on the right-hand side of inclusions."""
+
+    concept: BasicConcept
+
+    def __str__(self):
+        return f"not {self.concept}"
+
+
+Concept = Union[AtomicConcept, ExistentialRestriction, NegatedConcept]
+
+
+@dataclass(frozen=True, order=True)
+class NegatedRole:
+    """``¬R`` — only allowed on the right-hand side of role inclusions."""
+
+    role: Role
+
+    def __str__(self):
+        return f"not {self.role}"
+
+
+RoleExpression = Union[AtomicRole, InverseRole, NegatedRole]
+
+
+def exists(role: Union[str, Role], inverse: bool = False) -> ExistentialRestriction:
+    """Convenience constructor for ``∃R`` / ``∃R⁻``."""
+    if isinstance(role, str):
+        role = role_of(role, inverse)
+    elif inverse:
+        role = role.inverse()
+    return ExistentialRestriction(role)
+
+
+def is_basic_concept(concept: Concept) -> bool:
+    return isinstance(concept, (AtomicConcept, ExistentialRestriction))
+
+
+# ---------------------------------------------------------------------------
+# Axioms
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, order=True)
+class ConceptInclusion:
+    """A concept inclusion ``lhs ⊑ rhs`` with basic lhs."""
+
+    lhs: BasicConcept
+    rhs: Concept
+
+    def __post_init__(self):
+        if not is_basic_concept(self.lhs):
+            raise OntologyError(
+                f"left-hand side of a concept inclusion must be basic, got {self.lhs}"
+            )
+
+    def is_positive(self) -> bool:
+        """Positive inclusions have no negation on the right-hand side."""
+        return not isinstance(self.rhs, NegatedConcept)
+
+    def __str__(self):
+        return f"{self.lhs} ⊑ {self.rhs}"
+
+
+@dataclass(frozen=True, order=True)
+class RoleInclusion:
+    """A role inclusion ``lhs ⊑ rhs`` with (possibly inverse) atomic lhs."""
+
+    lhs: Role
+    rhs: RoleExpression
+
+    def is_positive(self) -> bool:
+        return not isinstance(self.rhs, NegatedRole)
+
+    def __str__(self):
+        return f"{self.lhs} ⊑ {self.rhs}"
+
+
+Axiom = Union[ConceptInclusion, RoleInclusion]
+
+
+def concept_vocabulary(axiom: Axiom) -> Tuple[set, set]:
+    """Return the (concept names, role names) used by an axiom."""
+    concepts, roles = set(), set()
+
+    def visit_concept(concept: Concept) -> None:
+        if isinstance(concept, AtomicConcept):
+            concepts.add(concept.name)
+        elif isinstance(concept, ExistentialRestriction):
+            roles.add(concept.role.predicate)
+        elif isinstance(concept, NegatedConcept):
+            visit_concept(concept.concept)
+
+    if isinstance(axiom, ConceptInclusion):
+        visit_concept(axiom.lhs)
+        visit_concept(axiom.rhs)
+    else:
+        roles.add(axiom.lhs.predicate)
+        rhs = axiom.rhs
+        if isinstance(rhs, NegatedRole):
+            roles.add(rhs.role.predicate)
+        else:
+            roles.add(rhs.predicate)
+    return concepts, roles

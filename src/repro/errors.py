@@ -1,0 +1,94 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised on purpose by the library derives from
+:class:`ReproError`, so applications can catch a single base class.  The
+subclasses mirror the layering of the library: query-language errors,
+ontology (DL) errors, OBDM errors, machine-learning errors and
+explanation-framework errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class QueryError(ReproError):
+    """Problems with query construction, parsing or evaluation."""
+
+
+class QueryParseError(QueryError):
+    """A textual query could not be parsed."""
+
+
+class QueryArityError(QueryError):
+    """A query or atom was used with the wrong number of arguments."""
+
+
+class UnsafeQueryError(QueryError):
+    """A query has head variables that do not occur in its body."""
+
+
+class OntologyError(ReproError):
+    """Problems with ontology (TBox) construction or reasoning."""
+
+
+class OntologyParseError(OntologyError):
+    """A textual ontology axiom could not be parsed."""
+
+
+class UnsatisfiableConceptError(OntologyError):
+    """A concept was proven unsatisfiable and strict mode is enabled."""
+
+
+class SchemaError(ReproError):
+    """Problems with source schemas or source databases."""
+
+
+class UnknownRelationError(SchemaError):
+    """A fact or query referenced a relation that is not in the schema."""
+
+
+class MappingError(ReproError):
+    """Problems with OBDM mapping assertions."""
+
+
+class OBDMError(ReproError):
+    """Problems at the level of OBDM specifications or systems."""
+
+
+class CertainAnswerError(OBDMError):
+    """Certain-answer computation failed or was configured incorrectly."""
+
+
+class DatasetError(ReproError):
+    """Problems with tabular machine-learning datasets."""
+
+
+class NotFittedError(ReproError):
+    """A classifier was used before :meth:`fit` was called."""
+
+
+class ExplanationError(ReproError):
+    """Problems raised by the explanation framework (``repro.core``)."""
+
+
+class CriterionError(ExplanationError):
+    """A criterion function was mis-configured or returned a bad value."""
+
+
+class ScoringError(ExplanationError):
+    """A scoring expression was mis-configured."""
+
+
+class SearchBudgetExceeded(ExplanationError):
+    """A best-description search exceeded its configured budget.
+
+    The exception carries the best query found so far, so callers can
+    still make use of partial results.
+    """
+
+    def __init__(self, message, best_so_far=None):
+        super().__init__(message)
+        self.best_so_far = best_so_far

@@ -1,0 +1,47 @@
+"""Classifier substrate: from-scratch binary classifiers, datasets and metrics."""
+
+from .base import (
+    NEGATIVE_LABEL,
+    POSITIVE_LABEL,
+    BinaryClassifier,
+    as_matrix,
+    normalize_labels,
+)
+from .dataset import TabularDataset
+from .decision_tree import DecisionTreeClassifier
+from .knn import KNearestNeighbors
+from .logistic_regression import LogisticRegression
+from .metrics import (
+    accuracy,
+    balanced_accuracy,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision,
+    recall,
+)
+from .naive_bayes import GaussianNaiveBayes
+from .rule_classifier import DecisionStump, ThresholdCondition, ThresholdRuleClassifier
+
+__all__ = [
+    "BinaryClassifier",
+    "DecisionStump",
+    "DecisionTreeClassifier",
+    "GaussianNaiveBayes",
+    "KNearestNeighbors",
+    "LogisticRegression",
+    "NEGATIVE_LABEL",
+    "POSITIVE_LABEL",
+    "TabularDataset",
+    "ThresholdCondition",
+    "ThresholdRuleClassifier",
+    "accuracy",
+    "as_matrix",
+    "balanced_accuracy",
+    "classification_report",
+    "confusion_matrix",
+    "f1_score",
+    "normalize_labels",
+    "precision",
+    "recall",
+]

@@ -1,0 +1,136 @@
+"""Common estimator interface of the classifier substrate.
+
+The paper treats the classifier as a black box ("a classification task
+carried out by any actor, e.g., a human or a machine"); the explanation
+framework only consumes the resulting labeling ``λ``.  To reproduce the
+intended usage (explain an actual trained model) without scikit-learn,
+this package ships small, from-scratch classifiers sharing a minimal
+``fit`` / ``predict`` / ``predict_proba`` interface.
+
+Labels are always ``+1`` / ``-1`` internally (the paper's convention);
+:func:`normalize_labels` converts arbitrary binary label encodings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError, NotFittedError
+
+POSITIVE_LABEL = 1
+NEGATIVE_LABEL = -1
+
+
+def as_matrix(features) -> np.ndarray:
+    """Coerce a feature matrix to a 2-D float array."""
+    matrix = np.asarray(features, dtype=float)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(-1, 1)
+    if matrix.ndim != 2:
+        raise DatasetError(f"feature matrix must be 2-D, got shape {matrix.shape}")
+    return matrix
+
+
+def normalize_labels(labels) -> np.ndarray:
+    """Map a binary label vector onto ``{+1, -1}``.
+
+    Accepted encodings: already ``{+1, -1}``; ``{0, 1}`` (1 is positive);
+    ``{False, True}``; any two distinct values, where the larger one (by
+    Python ordering of the sorted unique values) is treated as positive.
+    """
+    array = np.asarray(labels)
+    if array.ndim != 1:
+        raise DatasetError(f"label vector must be 1-D, got shape {array.shape}")
+    if array.shape[0] == 0:
+        return np.zeros(0, dtype=int)
+    unique = sorted(set(array.tolist()))
+    if len(unique) > 2:
+        raise DatasetError(f"binary classification expects <= 2 classes, got {unique}")
+    if len(unique) == 1:
+        only = unique[0]
+        value = POSITIVE_LABEL if only in (1, True, POSITIVE_LABEL) else NEGATIVE_LABEL
+        return np.full(array.shape[0], value, dtype=int)
+    negative, positive = unique
+    result = np.where(array == positive, POSITIVE_LABEL, NEGATIVE_LABEL)
+    return result.astype(int)
+
+
+class BinaryClassifier:
+    """Base class for the from-scratch binary classifiers."""
+
+    def __init__(self):
+        self._fitted = False
+        self.n_features_: Optional[int] = None
+
+    # -- template methods -----------------------------------------------------
+
+    def fit(self, features, labels) -> "BinaryClassifier":
+        """Fit the classifier; returns ``self`` for chaining."""
+        matrix = as_matrix(features)
+        if matrix.shape[0] == 0:
+            raise DatasetError("cannot fit a classifier on an empty dataset")
+        target = normalize_labels(labels)
+        if matrix.shape[0] != target.shape[0]:
+            raise DatasetError(
+                f"{matrix.shape[0]} rows of features but {target.shape[0]} labels"
+            )
+        self.n_features_ = matrix.shape[1]
+        self._fit(matrix, target)
+        self._fitted = True
+        return self
+
+    def predict(self, features) -> np.ndarray:
+        """Predict ``+1`` / ``-1`` labels."""
+        self._check_fitted()
+        matrix = self._check_features(features)
+        return self._predict(matrix)
+
+    def predict_proba(self, features) -> np.ndarray:
+        """Probability of the positive class, one value per row."""
+        self._check_fitted()
+        matrix = self._check_features(features)
+        return self._predict_proba(matrix)
+
+    def decision_function(self, features) -> np.ndarray:
+        """Signed score; positive means the positive class."""
+        return self.predict_proba(features) - 0.5
+
+    def score(self, features, labels) -> float:
+        """Accuracy on a labelled sample."""
+        predictions = self.predict(features)
+        target = normalize_labels(labels)
+        return float(np.mean(predictions == target))
+
+    # -- hooks for subclasses ------------------------------------------------------
+
+    def _fit(self, matrix: np.ndarray, target: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _predict(self, matrix: np.ndarray) -> np.ndarray:
+        probabilities = self._predict_proba(matrix)
+        return np.where(probabilities >= 0.5, POSITIVE_LABEL, NEGATIVE_LABEL)
+
+    def _predict_proba(self, matrix: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- validation ------------------------------------------------------------------
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before prediction"
+            )
+
+    def _check_features(self, features) -> np.ndarray:
+        matrix = as_matrix(features)
+        if self.n_features_ is not None and matrix.shape[1] != self.n_features_:
+            raise DatasetError(
+                f"expected {self.n_features_} features, got {matrix.shape[1]}"
+            )
+        return matrix
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted

@@ -1,0 +1,150 @@
+"""Tabular datasets bridging the relational source and the classifiers.
+
+A :class:`TabularDataset` is a named collection of rows with a key
+column (the identifier of the classified object — the constant that
+appears in the source database), feature columns and a binary label.
+It converts to numpy matrices for the classifiers and to
+:class:`~repro.core.labeling.Labeling` objects for the explanation
+framework, which is exactly the bridge the paper's pipeline needs:
+classifier predictions over database objects become ``λ+`` / ``λ-``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.labeling import Labeling
+from ..errors import DatasetError
+from .base import NEGATIVE_LABEL, POSITIVE_LABEL, normalize_labels
+
+Value = Union[str, int, float, bool]
+
+
+@dataclass
+class TabularDataset:
+    """Rows of (key, features, label) with named feature columns."""
+
+    keys: List[Value]
+    feature_names: List[str]
+    features: List[List[float]]
+    labels: List[int]
+    name: str = "dataset"
+
+    def __post_init__(self):
+        if len(self.keys) != len(self.features) or len(self.keys) != len(self.labels):
+            raise DatasetError(
+                f"inconsistent dataset sizes: {len(self.keys)} keys, "
+                f"{len(self.features)} feature rows, {len(self.labels)} labels"
+            )
+        for row in self.features:
+            if len(row) != len(self.feature_names):
+                raise DatasetError(
+                    f"feature row of length {len(row)} does not match "
+                    f"{len(self.feature_names)} feature names"
+                )
+        self.labels = list(normalize_labels(self.labels)) if self.labels else []
+
+    # -- construction -----------------------------------------------------------
+
+    @staticmethod
+    def from_records(
+        records: Sequence[Mapping[str, Value]],
+        key_column: str,
+        label_column: str,
+        feature_columns: Optional[Sequence[str]] = None,
+        name: str = "dataset",
+    ) -> "TabularDataset":
+        """Build a dataset from dictionaries (one per row)."""
+        if not records:
+            raise DatasetError("cannot build a dataset from zero records")
+        if feature_columns is None:
+            feature_columns = [
+                column
+                for column in records[0]
+                if column not in (key_column, label_column)
+            ]
+        keys, rows, labels = [], [], []
+        for record in records:
+            if key_column not in record or label_column not in record:
+                raise DatasetError(
+                    f"record {record!r} is missing {key_column!r} or {label_column!r}"
+                )
+            keys.append(record[key_column])
+            rows.append([float(record[column]) for column in feature_columns])
+            labels.append(record[label_column])
+        return TabularDataset(keys, list(feature_columns), rows, list(labels), name)
+
+    # -- numpy views --------------------------------------------------------------
+
+    @property
+    def X(self) -> np.ndarray:
+        return np.asarray(self.features, dtype=float)
+
+    @property
+    def y(self) -> np.ndarray:
+        return np.asarray(self.labels, dtype=int)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    # -- splitting -----------------------------------------------------------------
+
+    def train_test_split(
+        self, test_fraction: float = 0.3, seed: int = 0
+    ) -> Tuple["TabularDataset", "TabularDataset"]:
+        """Deterministic shuffled split into train and test subsets."""
+        if not 0.0 < test_fraction < 1.0:
+            raise DatasetError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        indices = np.arange(len(self))
+        rng = np.random.default_rng(seed)
+        rng.shuffle(indices)
+        cut = max(1, int(round(len(self) * test_fraction)))
+        if cut >= len(self):
+            raise DatasetError("test split would consume the whole dataset")
+        test_idx, train_idx = indices[:cut], indices[cut:]
+        return self.subset(train_idx, f"{self.name}_train"), self.subset(
+            test_idx, f"{self.name}_test"
+        )
+
+    def subset(self, indices: Iterable[int], name: Optional[str] = None) -> "TabularDataset":
+        indices = list(int(i) for i in indices)
+        return TabularDataset(
+            [self.keys[i] for i in indices],
+            list(self.feature_names),
+            [self.features[i] for i in indices],
+            [self.labels[i] for i in indices],
+            name or self.name,
+        )
+
+    # -- bridges ---------------------------------------------------------------------
+
+    def true_labeling(self, name: Optional[str] = None) -> Labeling:
+        """The labeling induced by the dataset's ground-truth labels."""
+        positives = [key for key, label in zip(self.keys, self.labels) if label == POSITIVE_LABEL]
+        negatives = [key for key, label in zip(self.keys, self.labels) if label == NEGATIVE_LABEL]
+        return Labeling(positives, negatives, name or f"{self.name}_truth")
+
+    def predicted_labeling(self, classifier, name: Optional[str] = None) -> Labeling:
+        """The labeling induced by a fitted classifier's predictions."""
+        predictions = classifier.predict(self.X)
+        positives = [key for key, label in zip(self.keys, predictions) if label == POSITIVE_LABEL]
+        negatives = [key for key, label in zip(self.keys, predictions) if label == NEGATIVE_LABEL]
+        return Labeling(positives, negatives, name or f"{self.name}_predicted")
+
+    def class_balance(self) -> Dict[int, int]:
+        """Counts of positive and negative rows."""
+        balance = {POSITIVE_LABEL: 0, NEGATIVE_LABEL: 0}
+        for label in self.labels:
+            balance[label] += 1
+        return balance
+
+    def __str__(self):
+        balance = self.class_balance()
+        return (
+            f"TabularDataset({self.name!r}: {len(self)} rows, "
+            f"{len(self.feature_names)} features, "
+            f"+{balance[POSITIVE_LABEL]}/-{balance[NEGATIVE_LABEL]})"
+        )

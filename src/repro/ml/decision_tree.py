@@ -1,0 +1,170 @@
+"""CART-style decision tree classifier.
+
+Binary splits on numeric features chosen by Gini impurity reduction,
+with the usual stopping criteria (max depth, minimum samples per split,
+minimum impurity decrease).  The tree is deterministic: ties between
+candidate splits are broken towards the lowest feature index and the
+smallest threshold, so repeated runs produce identical trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from .base import BinaryClassifier, NEGATIVE_LABEL, POSITIVE_LABEL
+
+
+@dataclass
+class _Node:
+    """A tree node: either a leaf (probability) or an internal split."""
+
+    probability: float
+    feature: Optional[int] = None
+    threshold: Optional[float] = None
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(labels: np.ndarray) -> float:
+    if labels.size == 0:
+        return 0.0
+    positive = float(np.mean(labels == POSITIVE_LABEL))
+    return 2.0 * positive * (1.0 - positive)
+
+
+class DecisionTreeClassifier(BinaryClassifier):
+    """A small CART classifier on numeric features."""
+
+    def __init__(
+        self,
+        max_depth: int = 5,
+        min_samples_split: int = 2,
+        min_impurity_decrease: float = 1e-7,
+    ):
+        super().__init__()
+        if max_depth < 1:
+            raise DatasetError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise DatasetError("min_samples_split must be >= 2")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_impurity_decrease = min_impurity_decrease
+        self.root_: Optional[_Node] = None
+
+    # -- fitting --------------------------------------------------------------
+
+    def _fit(self, matrix: np.ndarray, target: np.ndarray) -> None:
+        self.root_ = self._build(matrix, target, depth=0)
+
+    def _build(self, matrix: np.ndarray, target: np.ndarray, depth: int) -> _Node:
+        probability = float(np.mean(target == POSITIVE_LABEL)) if target.size else 0.0
+        node = _Node(probability=probability)
+        if (
+            depth >= self.max_depth
+            or target.size < self.min_samples_split
+            or probability in (0.0, 1.0)
+        ):
+            return node
+        split = self._best_split(matrix, target)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = matrix[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(matrix[mask], target[mask], depth + 1)
+        node.right = self._build(matrix[~mask], target[~mask], depth + 1)
+        return node
+
+    def _best_split(self, matrix: np.ndarray, target: np.ndarray) -> Optional[Tuple[int, float]]:
+        samples, features = matrix.shape
+        parent_impurity = _gini(target)
+        best: Optional[Tuple[int, float]] = None
+        best_gain = self.min_impurity_decrease
+        for feature in range(features):
+            values = np.unique(matrix[:, feature])
+            if values.size < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            for threshold in thresholds:
+                mask = matrix[:, feature] <= threshold
+                left, right = target[mask], target[~mask]
+                if left.size == 0 or right.size == 0:
+                    continue
+                weighted = (
+                    left.size * _gini(left) + right.size * _gini(right)
+                ) / samples
+                gain = parent_impurity - weighted
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best = (feature, float(threshold))
+        return best
+
+    # -- prediction ----------------------------------------------------------------
+
+    def _predict_proba(self, matrix: np.ndarray) -> np.ndarray:
+        probabilities = np.empty(matrix.shape[0])
+        for index, row in enumerate(matrix):
+            probabilities[index] = self._traverse(row)
+        return probabilities
+
+    def _traverse(self, row: np.ndarray) -> float:
+        node = self.root_
+        while node is not None and not node.is_leaf():
+            if row[node.feature] <= node.threshold:
+                node = node.left
+            else:
+                node = node.right
+        return node.probability if node is not None else 0.5
+
+    # -- introspection ----------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        self._check_fitted()
+
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf():
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)
+
+    def node_count(self) -> int:
+        """Total number of nodes in the fitted tree."""
+        self._check_fitted()
+
+        def walk(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf():
+                return 1
+            return 1 + walk(node.left) + walk(node.right)
+
+        return walk(self.root_)
+
+    def rules(self, feature_names: Optional[List[str]] = None) -> List[str]:
+        """Flatten the tree into human-readable decision rules."""
+        self._check_fitted()
+        names = feature_names or [f"f{i}" for i in range(self.n_features_ or 0)]
+        collected: List[str] = []
+
+        def walk(node: _Node, conditions: List[str]) -> None:
+            if node.is_leaf():
+                label = "+1" if node.probability >= 0.5 else "-1"
+                clause = " AND ".join(conditions) if conditions else "TRUE"
+                collected.append(f"IF {clause} THEN {label} (p+={node.probability:.2f})")
+                return
+            name = names[node.feature] if node.feature < len(names) else f"f{node.feature}"
+            walk(node.left, conditions + [f"{name} <= {node.threshold:.4g}"])
+            walk(node.right, conditions + [f"{name} > {node.threshold:.4g}"])
+
+        walk(self.root_, [])
+        return collected

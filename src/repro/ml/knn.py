@@ -1,0 +1,56 @@
+"""k-nearest-neighbours classifier.
+
+Brute-force Euclidean neighbours with optional feature standardisation;
+adequate for the dataset sizes of the benchmark workloads (hundreds to a
+few thousand rows) and entirely deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import DatasetError
+from .base import BinaryClassifier, NEGATIVE_LABEL, POSITIVE_LABEL
+
+
+class KNearestNeighbors(BinaryClassifier):
+    """Majority vote among the k nearest training rows."""
+
+    def __init__(self, k: int = 5, standardize: bool = True):
+        super().__init__()
+        if k < 1:
+            raise DatasetError("k must be >= 1")
+        self.k = k
+        self.standardize = standardize
+        self._train: Optional[np.ndarray] = None
+        self._labels: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    def _standardize(self, matrix: np.ndarray, fit: bool) -> np.ndarray:
+        if not self.standardize:
+            return matrix
+        if fit:
+            self._mean = matrix.mean(axis=0)
+            scale = matrix.std(axis=0)
+            scale[scale == 0] = 1.0
+            self._scale = scale
+        return (matrix - self._mean) / self._scale
+
+    def _fit(self, matrix: np.ndarray, target: np.ndarray) -> None:
+        self._train = self._standardize(matrix, fit=True)
+        self._labels = target
+
+    def _predict_proba(self, matrix: np.ndarray) -> np.ndarray:
+        matrix = self._standardize(matrix, fit=False)
+        k = min(self.k, self._train.shape[0])
+        probabilities = np.empty(matrix.shape[0])
+        for index, row in enumerate(matrix):
+            distances = np.sqrt(((self._train - row) ** 2).sum(axis=1))
+            # argsort is stable, so ties are resolved deterministically.
+            nearest = np.argsort(distances, kind="stable")[:k]
+            votes = self._labels[nearest]
+            probabilities[index] = float(np.mean(votes == POSITIVE_LABEL))
+        return probabilities

@@ -1,0 +1,101 @@
+"""Logistic regression trained with batch gradient descent.
+
+A linear model ``p(+1 | x) = sigmoid(w·x + b)`` with optional L2
+regularisation and feature standardisation.  Deterministic (no random
+initialisation), so experiments are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import DatasetError
+from .base import BinaryClassifier, NEGATIVE_LABEL, POSITIVE_LABEL
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Clipping keeps exp() finite for extreme scores.
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+class LogisticRegression(BinaryClassifier):
+    """L2-regularised logistic regression (full-batch gradient descent)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        iterations: int = 500,
+        l2: float = 0.0,
+        standardize: bool = True,
+        tolerance: float = 1e-7,
+    ):
+        super().__init__()
+        if learning_rate <= 0:
+            raise DatasetError("learning_rate must be positive")
+        if iterations <= 0:
+            raise DatasetError("iterations must be positive")
+        if l2 < 0:
+            raise DatasetError("l2 must be non-negative")
+        self.learning_rate = learning_rate
+        self.iterations = iterations
+        self.l2 = l2
+        self.standardize = standardize
+        self.tolerance = tolerance
+        self.weights_: Optional[np.ndarray] = None
+        self.bias_: float = 0.0
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    # -- fitting ---------------------------------------------------------------
+
+    def _standardize(self, matrix: np.ndarray, fit: bool) -> np.ndarray:
+        if not self.standardize:
+            return matrix
+        if fit:
+            self._mean = matrix.mean(axis=0)
+            scale = matrix.std(axis=0)
+            scale[scale == 0] = 1.0
+            self._scale = scale
+        return (matrix - self._mean) / self._scale
+
+    def _fit(self, matrix: np.ndarray, target: np.ndarray) -> None:
+        matrix = self._standardize(matrix, fit=True)
+        # Work with {0, 1} targets for the cross-entropy gradient.
+        binary = (target == POSITIVE_LABEL).astype(float)
+        samples, features = matrix.shape
+        weights = np.zeros(features)
+        bias = 0.0
+        previous_loss = np.inf
+        for _ in range(self.iterations):
+            scores = matrix @ weights + bias
+            probabilities = _sigmoid(scores)
+            error = probabilities - binary
+            gradient_w = matrix.T @ error / samples + self.l2 * weights
+            gradient_b = float(np.mean(error))
+            weights -= self.learning_rate * gradient_w
+            bias -= self.learning_rate * gradient_b
+            loss = float(
+                -np.mean(
+                    binary * np.log(probabilities + 1e-12)
+                    + (1 - binary) * np.log(1 - probabilities + 1e-12)
+                )
+                + 0.5 * self.l2 * float(weights @ weights)
+            )
+            if abs(previous_loss - loss) < self.tolerance:
+                break
+            previous_loss = loss
+        self.weights_ = weights
+        self.bias_ = bias
+
+    # -- prediction --------------------------------------------------------------
+
+    def _predict_proba(self, matrix: np.ndarray) -> np.ndarray:
+        matrix = self._standardize(matrix, fit=False)
+        return _sigmoid(matrix @ self.weights_ + self.bias_)
+
+    def coefficients(self) -> np.ndarray:
+        """Learned weights (in standardised feature space when enabled)."""
+        self._check_fitted()
+        return np.array(self.weights_)

@@ -1,0 +1,86 @@
+"""Classification metrics shared by the ML substrate and the experiments.
+
+All metrics take ``+1`` / ``-1`` label vectors (other binary encodings
+are normalised first) and return floats.  The experiment harness uses
+them both to measure classifier quality and to compare the *fidelity*
+of an explanation query against the classifier it explains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from .base import NEGATIVE_LABEL, POSITIVE_LABEL, normalize_labels
+
+
+def _pair(truth, predictions) -> Tuple[np.ndarray, np.ndarray]:
+    truth = normalize_labels(truth)
+    predictions = normalize_labels(predictions)
+    if truth.shape[0] != predictions.shape[0]:
+        raise DatasetError(
+            f"{truth.shape[0]} true labels but {predictions.shape[0]} predictions"
+        )
+    return truth, predictions
+
+
+def confusion_matrix(truth, predictions) -> Dict[str, int]:
+    """Counts of true/false positives/negatives."""
+    truth, predictions = _pair(truth, predictions)
+    return {
+        "tp": int(np.sum((truth == POSITIVE_LABEL) & (predictions == POSITIVE_LABEL))),
+        "fp": int(np.sum((truth == NEGATIVE_LABEL) & (predictions == POSITIVE_LABEL))),
+        "fn": int(np.sum((truth == POSITIVE_LABEL) & (predictions == NEGATIVE_LABEL))),
+        "tn": int(np.sum((truth == NEGATIVE_LABEL) & (predictions == NEGATIVE_LABEL))),
+    }
+
+
+def accuracy(truth, predictions) -> float:
+    truth, predictions = _pair(truth, predictions)
+    if truth.shape[0] == 0:
+        return 0.0
+    return float(np.mean(truth == predictions))
+
+
+def precision(truth, predictions) -> float:
+    counts = confusion_matrix(truth, predictions)
+    denominator = counts["tp"] + counts["fp"]
+    return counts["tp"] / denominator if denominator else 0.0
+
+
+def recall(truth, predictions) -> float:
+    counts = confusion_matrix(truth, predictions)
+    denominator = counts["tp"] + counts["fn"]
+    return counts["tp"] / denominator if denominator else 0.0
+
+
+def f1_score(truth, predictions) -> float:
+    p, r = precision(truth, predictions), recall(truth, predictions)
+    return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def balanced_accuracy(truth, predictions) -> float:
+    counts = confusion_matrix(truth, predictions)
+    positive_total = counts["tp"] + counts["fn"]
+    negative_total = counts["tn"] + counts["fp"]
+    sensitivity = counts["tp"] / positive_total if positive_total else 0.0
+    specificity = counts["tn"] / negative_total if negative_total else 0.0
+    return (sensitivity + specificity) / 2.0
+
+
+def classification_report(truth, predictions) -> Dict[str, float]:
+    """All metrics in one dictionary (used by the experiment tables)."""
+    counts = confusion_matrix(truth, predictions)
+    report: Dict[str, float] = {key: float(value) for key, value in counts.items()}
+    report.update(
+        {
+            "accuracy": accuracy(truth, predictions),
+            "precision": precision(truth, predictions),
+            "recall": recall(truth, predictions),
+            "f1": f1_score(truth, predictions),
+            "balanced_accuracy": balanced_accuracy(truth, predictions),
+        }
+    )
+    return report

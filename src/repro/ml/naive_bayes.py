@@ -1,0 +1,70 @@
+"""Gaussian naive Bayes classifier.
+
+Each feature is modelled as a class-conditional Gaussian; features are
+assumed independent given the class.  Variance smoothing avoids
+degenerate zero-variance features (constant columns).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import DatasetError
+from .base import BinaryClassifier, NEGATIVE_LABEL, POSITIVE_LABEL
+
+
+class GaussianNaiveBayes(BinaryClassifier):
+    """Naive Bayes with Gaussian class-conditional likelihoods."""
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        super().__init__()
+        if var_smoothing < 0:
+            raise DatasetError("var_smoothing must be non-negative")
+        self.var_smoothing = var_smoothing
+        self.prior_positive_: float = 0.5
+        self._mean: Optional[np.ndarray] = None  # shape (2, n_features)
+        self._variance: Optional[np.ndarray] = None
+
+    def _fit(self, matrix: np.ndarray, target: np.ndarray) -> None:
+        positive_mask = target == POSITIVE_LABEL
+        negative_mask = ~positive_mask
+        if not positive_mask.any() or not negative_mask.any():
+            # Degenerate single-class training set: predict the prior.
+            self.prior_positive_ = float(positive_mask.mean())
+            self._mean = np.zeros((2, matrix.shape[1]))
+            self._variance = np.ones((2, matrix.shape[1]))
+            return
+        self.prior_positive_ = float(positive_mask.mean())
+        means = np.vstack(
+            [matrix[negative_mask].mean(axis=0), matrix[positive_mask].mean(axis=0)]
+        )
+        variances = np.vstack(
+            [matrix[negative_mask].var(axis=0), matrix[positive_mask].var(axis=0)]
+        )
+        smoothing = self.var_smoothing * float(matrix.var(axis=0).max() or 1.0)
+        variances = variances + max(smoothing, 1e-12)
+        self._mean = means
+        self._variance = variances
+
+    def _log_likelihood(self, matrix: np.ndarray, class_index: int) -> np.ndarray:
+        mean = self._mean[class_index]
+        variance = self._variance[class_index]
+        return np.sum(
+            -0.5 * np.log(2.0 * np.pi * variance)
+            - ((matrix - mean) ** 2) / (2.0 * variance),
+            axis=1,
+        )
+
+    def _predict_proba(self, matrix: np.ndarray) -> np.ndarray:
+        if self._mean is None:
+            return np.full(matrix.shape[0], self.prior_positive_)
+        prior_positive = np.clip(self.prior_positive_, 1e-12, 1 - 1e-12)
+        log_positive = self._log_likelihood(matrix, 1) + np.log(prior_positive)
+        log_negative = self._log_likelihood(matrix, 0) + np.log(1 - prior_positive)
+        # Numerically stable normalisation.
+        stacked = np.vstack([log_negative, log_positive])
+        maximum = stacked.max(axis=0)
+        exponentials = np.exp(stacked - maximum)
+        return exponentials[1] / exponentials.sum(axis=0)

@@ -1,0 +1,147 @@
+"""Threshold-rule classifiers.
+
+Two tiny but useful classifiers:
+
+* :class:`ThresholdRuleClassifier` — a hand-written conjunction of
+  attribute thresholds; used in tests and benchmarks to construct
+  classifiers whose *true* explanation is known, so the fidelity of the
+  explanation framework can be measured against ground truth.
+* :class:`DecisionStump` — a learned one-feature threshold (the best
+  single split by Gini), the weakest interesting learned baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from .base import BinaryClassifier, NEGATIVE_LABEL, POSITIVE_LABEL
+
+
+@dataclass(frozen=True)
+class ThresholdCondition:
+    """A single condition ``feature <op> value`` on a named feature."""
+
+    feature: str
+    operator: str
+    value: float
+
+    _OPERATORS = {
+        "<=": lambda left, right: left <= right,
+        "<": lambda left, right: left < right,
+        ">=": lambda left, right: left >= right,
+        ">": lambda left, right: left > right,
+        "==": lambda left, right: left == right,
+        "!=": lambda left, right: left != right,
+    }
+
+    def __post_init__(self):
+        if self.operator not in self._OPERATORS:
+            raise DatasetError(
+                f"unknown operator {self.operator!r}; expected one of {sorted(self._OPERATORS)}"
+            )
+
+    def holds(self, value: float) -> bool:
+        return bool(self._OPERATORS[self.operator](value, self.value))
+
+    def __str__(self):
+        return f"{self.feature} {self.operator} {self.value:g}"
+
+
+class ThresholdRuleClassifier(BinaryClassifier):
+    """Classifies positively iff every condition of the rule holds.
+
+    The classifier needs the feature names to resolve conditions against
+    columns, so :meth:`fit` only records them — there is nothing to learn.
+    """
+
+    def __init__(self, conditions: Sequence[ThresholdCondition], feature_names: Sequence[str]):
+        super().__init__()
+        if not conditions:
+            raise DatasetError("a rule classifier needs at least one condition")
+        self.conditions = tuple(conditions)
+        self.feature_names = list(feature_names)
+        missing = [c.feature for c in conditions if c.feature not in self.feature_names]
+        if missing:
+            raise DatasetError(f"conditions refer to unknown features: {missing}")
+        self._positions: Dict[str, int] = {
+            name: index for index, name in enumerate(self.feature_names)
+        }
+
+    @staticmethod
+    def from_strings(rules: Sequence[str], feature_names: Sequence[str]) -> "ThresholdRuleClassifier":
+        """Parse conditions like ``"income >= 40000"``."""
+        conditions = []
+        for rule in rules:
+            for operator in ("<=", ">=", "==", "!=", "<", ">"):
+                if operator in rule:
+                    feature, value = rule.split(operator, 1)
+                    conditions.append(
+                        ThresholdCondition(feature.strip(), operator, float(value.strip()))
+                    )
+                    break
+            else:
+                raise DatasetError(f"cannot parse rule {rule!r}")
+        return ThresholdRuleClassifier(conditions, feature_names)
+
+    def _fit(self, matrix: np.ndarray, target: np.ndarray) -> None:
+        if matrix.shape[1] != len(self.feature_names):
+            raise DatasetError(
+                f"rule classifier was declared with {len(self.feature_names)} features "
+                f"but fitted on {matrix.shape[1]}"
+            )
+
+    def _predict_proba(self, matrix: np.ndarray) -> np.ndarray:
+        results = np.ones(matrix.shape[0], dtype=bool)
+        for condition in self.conditions:
+            column = matrix[:, self._positions[condition.feature]]
+            holds = np.array([condition.holds(value) for value in column])
+            results &= holds
+        return results.astype(float)
+
+    def describe(self) -> str:
+        return " AND ".join(str(condition) for condition in self.conditions)
+
+
+class DecisionStump(BinaryClassifier):
+    """The best single-feature threshold split (a depth-1 decision tree)."""
+
+    def __init__(self):
+        super().__init__()
+        self.feature_: Optional[int] = None
+        self.threshold_: float = 0.0
+        self.left_positive_: bool = True
+
+    def _fit(self, matrix: np.ndarray, target: np.ndarray) -> None:
+        best_accuracy = -1.0
+        samples = matrix.shape[0]
+        for feature in range(matrix.shape[1]):
+            values = np.unique(matrix[:, feature])
+            if values.size < 2:
+                thresholds = values
+            else:
+                thresholds = (values[:-1] + values[1:]) / 2.0
+            for threshold in thresholds:
+                mask = matrix[:, feature] <= threshold
+                for left_positive in (True, False):
+                    predictions = np.where(
+                        mask,
+                        POSITIVE_LABEL if left_positive else NEGATIVE_LABEL,
+                        NEGATIVE_LABEL if left_positive else POSITIVE_LABEL,
+                    )
+                    correct = float(np.mean(predictions == target))
+                    if correct > best_accuracy + 1e-12:
+                        best_accuracy = correct
+                        self.feature_ = feature
+                        self.threshold_ = float(threshold)
+                        self.left_positive_ = left_positive
+
+    def _predict_proba(self, matrix: np.ndarray) -> np.ndarray:
+        if self.feature_ is None:
+            return np.full(matrix.shape[0], 0.5)
+        mask = matrix[:, self.feature_] <= self.threshold_
+        positive = mask if self.left_positive_ else ~mask
+        return positive.astype(float)

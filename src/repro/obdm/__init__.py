@@ -1,0 +1,30 @@
+"""OBDM substrate: schemas, databases, mappings, specifications, systems, certain answers."""
+
+from .certain_answers import STRATEGIES, CertainAnswerEngine, OntologyQuery
+from .chase import ChaseEngine, is_labelled_null, tuple_has_null
+from .database import SourceDatabase
+from .mapping import Mapping, MappingAssertion
+from .rewriting import PerfectRefRewriter
+from .schema import RelationSignature, SourceSchema
+from .specification import OBDMSpecification
+from .system import OBDMSystem
+from .virtual_abox import VirtualABox, retrieve_abox
+
+__all__ = [
+    "STRATEGIES",
+    "CertainAnswerEngine",
+    "ChaseEngine",
+    "Mapping",
+    "MappingAssertion",
+    "OBDMSpecification",
+    "OBDMSystem",
+    "OntologyQuery",
+    "PerfectRefRewriter",
+    "RelationSignature",
+    "SourceDatabase",
+    "SourceSchema",
+    "VirtualABox",
+    "is_labelled_null",
+    "retrieve_abox",
+    "tuple_has_null",
+]

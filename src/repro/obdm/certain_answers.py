@@ -1,0 +1,137 @@
+"""Certain answers of ontology queries over OBDM systems.
+
+Given an OBDM specification ``J = <O, S, M>``, an ``S``-database ``D``
+and a query ``q_O`` over the ontology, the certain answers
+``cert_{q_O, J}^D`` are the tuples of constants that satisfy ``q_O`` in
+**every** model of ``<J, D>`` (Section 2 of the paper).  Under sound
+GAV mappings and a DL-Lite_R ontology this can be computed in two
+equivalent ways, both implemented here:
+
+* ``rewriting`` — compute the perfect rewriting of ``q_O`` w.r.t. ``O``
+  (a UCQ) and evaluate it over the retrieved ABox ``A(M, D)``;
+* ``chase``     — saturate ``A(M, D)`` with the positive axioms of ``O``
+  (restricted chase with labelled nulls) and evaluate ``q_O`` directly,
+  discarding answers that contain nulls.
+
+The explanation framework calls this engine once per (query, border)
+pair, so the engine caches rewritings by query signature and lets the
+caller reuse retrieved ABoxes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple, Union
+
+from ..dl.ontology import Ontology
+from ..errors import CertainAnswerError
+from ..queries.atoms import Atom
+from ..queries.cq import ConjunctiveQuery
+from ..queries.evaluation import FactIndex, contains_tuple, evaluate
+from ..queries.terms import Constant
+from ..queries.ucq import UnionOfConjunctiveQueries
+from .chase import ChaseEngine, tuple_has_null
+from .database import SourceDatabase
+from .mapping import Mapping
+from .rewriting import PerfectRefRewriter
+from .virtual_abox import VirtualABox, retrieve_abox
+
+OntologyQuery = Union[ConjunctiveQuery, UnionOfConjunctiveQueries]
+
+STRATEGIES = ("rewriting", "chase")
+
+
+class CertainAnswerEngine:
+    """Computes certain answers for a fixed specification ``J = <O, S, M>``."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        mapping: Mapping,
+        strategy: str = "rewriting",
+        chase_depth: int = 3,
+    ):
+        if strategy not in STRATEGIES:
+            raise CertainAnswerError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        self.ontology = ontology
+        self.mapping = mapping
+        self.strategy = strategy
+        self.chase_depth = chase_depth
+        self._rewriter = PerfectRefRewriter(ontology)
+        self._rewrite_cache: Dict[Tuple, UnionOfConjunctiveQueries] = {}
+
+    # -- ABox handling -------------------------------------------------------
+
+    def retrieve(self, database: SourceDatabase) -> VirtualABox:
+        """Retrieve the virtual ABox of a source database."""
+        return retrieve_abox(self.mapping, database)
+
+    def saturate(self, abox: VirtualABox) -> FactIndex:
+        """Chase an ABox and return an index over the saturated facts."""
+        engine = ChaseEngine(self.ontology, max_depth=self.chase_depth)
+        return FactIndex(engine.chase(abox.facts))
+
+    # -- rewriting cache ---------------------------------------------------------
+
+    def rewrite(self, query: OntologyQuery) -> UnionOfConjunctiveQueries:
+        """Perfect rewriting of a query, cached by canonical signature."""
+        if isinstance(query, ConjunctiveQuery):
+            key: Tuple = ("cq", query.signature())
+        else:
+            key = ("ucq", tuple(sorted(cq.signature() for cq in query.disjuncts)))
+        rewriting = self._rewrite_cache.get(key)
+        if rewriting is None:
+            rewriting = self._rewriter.rewrite(query)
+            self._rewrite_cache[key] = rewriting
+        return rewriting
+
+    # -- certain answers ------------------------------------------------------------
+
+    def certain_answers(
+        self,
+        query: OntologyQuery,
+        database: SourceDatabase,
+        abox: Optional[VirtualABox] = None,
+    ) -> Set[Tuple[Constant, ...]]:
+        """All certain answers of *query* w.r.t. ``J`` and *database*."""
+        abox = abox if abox is not None else self.retrieve(database)
+        if self.strategy == "rewriting":
+            rewriting = self.rewrite(query)
+            return rewriting.evaluate((), index=abox.index)
+        saturated = self.saturate(abox)
+        answers = self._evaluate_plain(query, saturated)
+        return {answer for answer in answers if not tuple_has_null(answer)}
+
+    def is_certain_answer(
+        self,
+        query: OntologyQuery,
+        answer: Sequence,
+        database: SourceDatabase,
+        abox: Optional[VirtualABox] = None,
+    ) -> bool:
+        """Membership test ``answer ∈ cert_{query, J}^database``.
+
+        This is the primitive behind ``J``-matching (Definition 3.4): the
+        tuple is bound into the query before evaluation, which avoids
+        enumerating the full answer set.
+        """
+        normalized = tuple(
+            value if isinstance(value, Constant) else Constant(value) for value in answer
+        )
+        abox = abox if abox is not None else self.retrieve(database)
+        if self.strategy == "rewriting":
+            rewriting = self.rewrite(query)
+            return rewriting.contains_tuple(normalized, (), index=abox.index)
+        saturated = self.saturate(abox)
+        if isinstance(query, ConjunctiveQuery):
+            return contains_tuple(query, normalized, (), index=saturated)
+        return query.contains_tuple(normalized, (), index=saturated)
+
+    # -- helpers ---------------------------------------------------------------------
+
+    @staticmethod
+    def _evaluate_plain(query: OntologyQuery, index: FactIndex) -> Set[Tuple[Constant, ...]]:
+        if isinstance(query, ConjunctiveQuery):
+            return evaluate(query, (), index=index)
+        return query.evaluate((), index=index)

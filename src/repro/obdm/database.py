@@ -1,0 +1,174 @@
+"""Source databases ``D``: finite sets of ground atoms over a schema ``S``.
+
+The paper (Section 2) defines an ``S``-database as a finite set of atoms
+``s(c)`` where ``s`` is a predicate of ``S``.  :class:`SourceDatabase`
+stores exactly that, and additionally maintains two indexes needed by
+the explanation framework:
+
+* a by-predicate index, used by query evaluation;
+* a by-constant index (constant → atoms mentioning it), which makes the
+  border computation of Definition 3.2 a sequence of index lookups
+  instead of database scans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import SchemaError, UnknownRelationError
+from ..queries.atoms import Atom
+from ..queries.terms import Constant
+from ..sql.catalog import Catalog
+from .schema import RelationSignature, SourceSchema
+
+Value = Union[str, int, float, bool]
+
+
+class SourceDatabase:
+    """An ``S``-database: a finite set of ground atoms over schema ``S``."""
+
+    def __init__(
+        self,
+        schema: Optional[SourceSchema] = None,
+        facts: Iterable[Atom] = (),
+        name: str = "D",
+        strict: bool = True,
+    ):
+        """Create a database.
+
+        With ``strict=True`` (the default) every fact must use a relation
+        declared in *schema* with the right arity; with ``strict=False``
+        unknown relations are auto-declared with synthetic attributes.
+        """
+        self.name = name
+        self.schema = schema if schema is not None else SourceSchema()
+        self._strict = strict and schema is not None
+        self._facts: Set[Atom] = set()
+        self._by_predicate: Dict[str, Set[Atom]] = {}
+        self._by_constant: Dict[Constant, Set[Atom]] = {}
+        for fact in facts:
+            self.add_fact(fact)
+
+    # -- mutation --------------------------------------------------------
+
+    def add_fact(self, fact: Atom) -> None:
+        """Insert a ground atom, validating it against the schema."""
+        if not fact.is_ground():
+            raise SchemaError(f"cannot insert non-ground atom {fact}")
+        if self.schema.has_relation(fact.predicate):
+            expected = self.schema.arity_of(fact.predicate)
+            if expected != fact.arity:
+                raise SchemaError(
+                    f"fact {fact} has arity {fact.arity}, schema expects {expected}"
+                )
+        elif self._strict:
+            raise UnknownRelationError(
+                f"fact {fact} uses relation {fact.predicate!r} not declared in schema "
+                f"{self.schema.name!r}"
+            )
+        else:
+            self.schema.declare_arity(fact.predicate, fact.arity)
+        if fact in self._facts:
+            return
+        self._facts.add(fact)
+        self._by_predicate.setdefault(fact.predicate, set()).add(fact)
+        for argument in fact.args:
+            self._by_constant.setdefault(argument, set()).add(fact)
+
+    def add(self, predicate: str, *values: Value) -> Atom:
+        """Insert ``predicate(values...)`` and return the created fact."""
+        fact = Atom(predicate, tuple(Constant(v) for v in values))
+        self.add_fact(fact)
+        return fact
+
+    def add_facts(self, facts: Iterable[Atom]) -> None:
+        for fact in facts:
+            self.add_fact(fact)
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def facts(self) -> FrozenSet[Atom]:
+        return frozenset(self._facts)
+
+    def facts_with_predicate(self, predicate: str) -> FrozenSet[Atom]:
+        return frozenset(self._by_predicate.get(predicate, set()))
+
+    def facts_with_constant(self, constant: Union[Constant, Value]) -> FrozenSet[Atom]:
+        """Atoms in which *constant* occurs — the primitive behind borders."""
+        if not isinstance(constant, Constant):
+            constant = Constant(constant)
+        return frozenset(self._by_constant.get(constant, set()))
+
+    def domain(self) -> FrozenSet[Constant]:
+        """The active domain ``dom(D)``: every constant occurring in ``D``."""
+        return frozenset(self._by_constant)
+
+    def domain_values(self) -> FrozenSet[Value]:
+        """The active domain as raw Python values."""
+        return frozenset(constant.value for constant in self._by_constant)
+
+    def predicates(self) -> FrozenSet[str]:
+        return frozenset(self._by_predicate)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(sorted(self._facts))
+
+    def __contains__(self, fact: Atom) -> bool:
+        return fact in self._facts
+
+    # -- derived databases ----------------------------------------------------
+
+    def restrict_to(self, facts: Iterable[Atom], name: Optional[str] = None) -> "SourceDatabase":
+        """Sub-database induced by a subset of facts (e.g. a border)."""
+        subset = set(facts)
+        unknown = subset - self._facts
+        if unknown:
+            raise SchemaError(
+                f"cannot restrict {self.name!r} to facts not in the database: "
+                f"{sorted(str(a) for a in unknown)[:3]}..."
+            )
+        return SourceDatabase(self.schema, subset, name or f"{self.name}|restricted", strict=False)
+
+    def copy(self, name: Optional[str] = None) -> "SourceDatabase":
+        return SourceDatabase(self.schema, self._facts, name or self.name, strict=False)
+
+    # -- conversions -------------------------------------------------------------
+
+    def to_catalog(self) -> Catalog:
+        """Materialise the database as a relational catalog."""
+        catalog = self.schema.to_catalog(self.name)
+        for fact in self._facts:
+            if not catalog.has_relation(fact.predicate):
+                catalog.create_relation(
+                    fact.predicate, tuple(f"a{i + 1}" for i in range(fact.arity))
+                )
+            catalog.insert(fact.predicate, tuple(argument.value for argument in fact.args))
+        return catalog
+
+    @staticmethod
+    def from_catalog(catalog: Catalog, name: Optional[str] = None) -> "SourceDatabase":
+        """Build a database (and schema) from a relational catalog."""
+        schema = SourceSchema.from_catalog(catalog)
+        database = SourceDatabase(schema, name=name or catalog.name)
+        database.add_facts(catalog.to_atoms())
+        return database
+
+    @staticmethod
+    def from_rows(
+        rows_by_relation: Dict[str, Iterable[Sequence[Value]]],
+        schema: Optional[SourceSchema] = None,
+        name: str = "D",
+    ) -> "SourceDatabase":
+        """Build a database from ``{relation: [row, ...]}`` dictionaries."""
+        database = SourceDatabase(schema, name=name, strict=schema is not None)
+        for relation, rows in rows_by_relation.items():
+            for row in rows:
+                database.add(relation, *row)
+        return database
+
+    def __str__(self):
+        return f"SourceDatabase({self.name!r}, {len(self)} facts, schema={self.schema.name!r})"

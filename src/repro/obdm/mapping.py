@@ -1,0 +1,253 @@
+"""Mapping layer ``M`` of an OBDM specification.
+
+A mapping assertion relates a *source query* over the schema ``S`` to
+an *ontology query* over ``O``.  Following the paper (and the OBDA
+literature it builds on) mappings are **sound** and GAV-style: each
+assertion has the shape::
+
+    Φ(x₁, ..., xₖ)  ⇝  ψ₁(x⃗), ..., ψₘ(x⃗)
+
+where ``Φ`` is a source query with answer variables ``x₁..xₖ`` and each
+``ψᵢ`` is an ontology atom (concept or role atom) over those variables
+and constants.  The paper's Example 3.6 uses exactly this shape::
+
+    ENR(x, y, z) ⇝ studies(x, y)
+    ENR(x, y, z) ⇝ taughtIn(y, z)
+    LOC(x, y)    ⇝ locatedIn(x, y)
+
+Source queries may be conjunctive queries over ``S`` (as above), SQL
+text in the select-project-join fragment, or relational algebra trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import MappingError
+from ..queries.atoms import Atom, Substitution
+from ..queries.cq import ConjunctiveQuery
+from ..queries.evaluation import FactIndex, evaluate
+from ..queries.parser import parse_cq
+from ..queries.terms import Constant, Variable, is_constant, is_variable
+from ..sql.algebra import AlgebraNode
+from ..sql.executor import Executor
+from ..sql.sql_parser import sql_to_algebra
+from .database import SourceDatabase
+
+SourceQuerySpec = Union[str, ConjunctiveQuery, AlgebraNode]
+
+
+def _parse_source_query(source: SourceQuerySpec) -> Union[ConjunctiveQuery, AlgebraNode]:
+    """Accept CQ objects, algebra trees, rule text, atom text, or SQL text."""
+    if isinstance(source, (ConjunctiveQuery, AlgebraNode)):
+        return source
+    if not isinstance(source, str):
+        raise MappingError(f"unsupported source query specification: {source!r}")
+    text = source.strip()
+    if text.upper().startswith("SELECT"):
+        return sql_to_algebra(text)
+    if ":-" in text or "<-" in text:
+        return parse_cq(text)
+    # A bare atom such as "ENR(x, y, z)": treat it as the identity CQ whose
+    # answer variables are the atom's variables in order of appearance.
+    atom_query = parse_cq(f"__m({_variables_of_atom_text(text)}) :- {text}")
+    return atom_query
+
+
+def _variables_of_atom_text(text: str) -> str:
+    inside = text[text.index("(") + 1: text.rindex(")")]
+    names = []
+    for piece in inside.split(","):
+        piece = piece.strip()
+        if piece and piece[0].islower() and not piece[0].isdigit() and "'" not in piece:
+            if piece not in names:
+                names.append(piece)
+    return ", ".join(names)
+
+
+@dataclass(frozen=True)
+class MappingAssertion:
+    """A single sound GAV mapping assertion ``source ⇝ ontology atoms``."""
+
+    source: Union[ConjunctiveQuery, AlgebraNode]
+    targets: Tuple[Atom, ...]
+    label: str = ""
+
+    def __post_init__(self):
+        if not self.targets:
+            raise MappingError("a mapping assertion needs at least one target atom")
+        source_variables = self._source_head_variables()
+        if source_variables is not None:
+            available = set(source_variables)
+            for target in self.targets:
+                for argument in target.args:
+                    if is_variable(argument) and argument not in available:
+                        raise MappingError(
+                            f"target atom {target} uses variable {argument} that is not "
+                            f"an answer variable of the source query"
+                        )
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def create(
+        source: SourceQuerySpec,
+        targets: Union[str, Atom, Sequence[Union[str, Atom]]],
+        label: str = "",
+    ) -> "MappingAssertion":
+        """Build an assertion from flexible source/target specifications.
+
+        Targets given as text are parsed as atoms, e.g. ``"studies(x, y)"``.
+        """
+        parsed_source = _parse_source_query(source)
+        if isinstance(targets, (str, Atom)):
+            targets = [targets]
+        parsed_targets: List[Atom] = []
+        for target in targets:
+            if isinstance(target, Atom):
+                parsed_targets.append(target)
+            else:
+                text = target.strip()
+                probe = parse_cq(f"__t({_variables_of_atom_text(text)}) :- {text}")
+                parsed_targets.append(probe.body[0])
+        return MappingAssertion(parsed_source, tuple(parsed_targets), label)
+
+    # -- inspection --------------------------------------------------------------
+
+    def _source_head_variables(self) -> Optional[Tuple[Variable, ...]]:
+        if isinstance(self.source, ConjunctiveQuery):
+            return self.source.head
+        return None
+
+    def target_predicates(self) -> Set[str]:
+        return {target.predicate for target in self.targets}
+
+    def source_predicates(self) -> Set[str]:
+        if isinstance(self.source, ConjunctiveQuery):
+            return self.source.predicates()
+        return set()
+
+    # -- application ----------------------------------------------------------------
+
+    def apply(self, database: SourceDatabase, index: Optional[FactIndex] = None) -> Set[Atom]:
+        """Apply the assertion to a source database, producing ontology facts.
+
+        For CQ sources the query is evaluated over the database's atoms;
+        for SQL/algebra sources it is executed over the corresponding
+        catalog.  Every answer tuple is substituted into each target atom.
+        """
+        facts: Set[Atom] = set()
+        if isinstance(self.source, ConjunctiveQuery):
+            index = index if index is not None else FactIndex(database.facts)
+            answers = evaluate(self.source, (), index=index)
+            head = self.source.head
+            for answer in answers:
+                binding: Substitution = dict(zip(head, answer))
+                for target in self.targets:
+                    fact = target.apply(binding)
+                    if fact.is_ground():
+                        facts.add(fact)
+        else:
+            executor = Executor(database.to_catalog())
+            rows = executor.execute(self.source)
+            # Positional convention for algebra/SQL sources: the i-th output
+            # column binds the i-th distinct variable of the target atoms
+            # (in order of appearance across targets).
+            ordered_variables: List[Variable] = []
+            for target in self.targets:
+                for argument in target.args:
+                    if is_variable(argument) and argument not in ordered_variables:
+                        ordered_variables.append(argument)
+            for row in rows:
+                if len(row) < len(ordered_variables):
+                    raise MappingError(
+                        f"source query returned {len(row)} columns but targets need "
+                        f"{len(ordered_variables)} variables"
+                    )
+                binding = {
+                    variable: Constant(value)
+                    for variable, value in zip(ordered_variables, row)
+                }
+                for target in self.targets:
+                    fact = target.apply(binding)
+                    if fact.is_ground():
+                        facts.add(fact)
+        return facts
+
+    def __str__(self):
+        source = str(self.source)
+        targets = ", ".join(str(target) for target in self.targets)
+        prefix = f"[{self.label}] " if self.label else ""
+        return f"{prefix}{source} ⇝ {targets}"
+
+
+class Mapping:
+    """The mapping ``M``: an ordered collection of mapping assertions."""
+
+    def __init__(self, assertions: Iterable[MappingAssertion] = (), name: str = "M"):
+        self.name = name
+        self._assertions: List[MappingAssertion] = list(assertions)
+
+    # -- construction ---------------------------------------------------------
+
+    def add(self, assertion: MappingAssertion) -> None:
+        self._assertions.append(assertion)
+
+    def add_assertion(
+        self,
+        source: SourceQuerySpec,
+        targets: Union[str, Atom, Sequence[Union[str, Atom]]],
+        label: str = "",
+    ) -> MappingAssertion:
+        """Create an assertion with :meth:`MappingAssertion.create` and add it."""
+        assertion = MappingAssertion.create(source, targets, label)
+        self.add(assertion)
+        return assertion
+
+    @staticmethod
+    def from_pairs(pairs: Iterable[Tuple[SourceQuerySpec, Union[str, Sequence[str]]]], name: str = "M") -> "Mapping":
+        """Build a mapping from ``(source, target)`` pairs."""
+        mapping = Mapping(name=name)
+        for source, target in pairs:
+            mapping.add_assertion(source, target)
+        return mapping
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def assertions(self) -> Tuple[MappingAssertion, ...]:
+        return tuple(self._assertions)
+
+    def target_predicates(self) -> Set[str]:
+        predicates: Set[str] = set()
+        for assertion in self._assertions:
+            predicates |= assertion.target_predicates()
+        return predicates
+
+    def source_predicates(self) -> Set[str]:
+        predicates: Set[str] = set()
+        for assertion in self._assertions:
+            predicates |= assertion.source_predicates()
+        return predicates
+
+    def __len__(self) -> int:
+        return len(self._assertions)
+
+    def __iter__(self) -> Iterator[MappingAssertion]:
+        return iter(self._assertions)
+
+    # -- application ----------------------------------------------------------------
+
+    def apply(self, database: SourceDatabase) -> Set[Atom]:
+        """Apply every assertion to *database* (the retrieved/virtual ABox)."""
+        index = FactIndex(database.facts)
+        facts: Set[Atom] = set()
+        for assertion in self._assertions:
+            facts |= assertion.apply(database, index=index)
+        return facts
+
+    def __str__(self):
+        lines = [f"Mapping {self.name!r}:"]
+        lines += [f"  {assertion}" for assertion in self._assertions]
+        return "\n".join(lines)

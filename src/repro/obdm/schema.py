@@ -1,0 +1,122 @@
+"""Source schemas ``S`` for OBDM specifications.
+
+A source schema declares the relation names of the data layer together
+with their arities and (optionally) attribute names.  The schema is the
+``S`` component of an OBDM specification ``J = <O, S, M>`` and is used
+to validate source databases and mapping source queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import SchemaError, UnknownRelationError
+from ..sql.catalog import Catalog
+from ..sql.relation import RelationSchema
+
+
+@dataclass(frozen=True)
+class RelationSignature:
+    """Name, arity and attribute names of a source relation."""
+
+    name: str
+    attributes: Tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        attributes = tuple(self.attributes)
+        if not attributes:
+            raise SchemaError(f"relation {self.name!r} needs at least one attribute")
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"relation {self.name!r} has duplicate attributes")
+        object.__setattr__(self, "attributes", attributes)
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def __str__(self):
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+class SourceSchema:
+    """The schema ``S`` of the data source: a set of relation signatures."""
+
+    def __init__(self, relations: Iterable[RelationSignature] = (), name: str = "S"):
+        self.name = name
+        self._relations: Dict[str, RelationSignature] = {}
+        for relation in relations:
+            self.add_relation(relation)
+
+    # -- construction -------------------------------------------------------
+
+    def add_relation(self, relation: RelationSignature) -> None:
+        if relation.name in self._relations:
+            existing = self._relations[relation.name]
+            if existing != relation:
+                raise SchemaError(
+                    f"conflicting declarations for relation {relation.name!r}: "
+                    f"{existing} vs {relation}"
+                )
+            return
+        self._relations[relation.name] = relation
+
+    def declare(self, name: str, attributes: Sequence[str]) -> RelationSignature:
+        """Declare a relation by name and attribute names."""
+        signature = RelationSignature(name, tuple(attributes))
+        self.add_relation(signature)
+        return signature
+
+    def declare_arity(self, name: str, arity: int) -> RelationSignature:
+        """Declare a relation with synthetic attribute names ``a1..an``."""
+        return self.declare(name, tuple(f"a{i + 1}" for i in range(arity)))
+
+    # -- lookup ----------------------------------------------------------------
+
+    def relation(self, name: str) -> RelationSignature:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(
+                f"relation {name!r} is not part of schema {self.name!r}; "
+                f"known relations: {sorted(self._relations)}"
+            ) from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def arity_of(self, name: str) -> int:
+        return self.relation(name).arity
+
+    def relation_names(self) -> List[str]:
+        return sorted(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __iter__(self) -> Iterator[RelationSignature]:
+        for name in self.relation_names():
+            yield self._relations[name]
+
+    # -- conversions ---------------------------------------------------------------
+
+    def to_catalog(self, name: Optional[str] = None) -> Catalog:
+        """Create an empty catalog whose relations follow this schema."""
+        catalog = Catalog(name or self.name)
+        for signature in self:
+            catalog.create_relation(signature.name, signature.attributes)
+        return catalog
+
+    @staticmethod
+    def from_catalog(catalog: Catalog, name: Optional[str] = None) -> "SourceSchema":
+        """Extract the schema of an existing catalog."""
+        schema = SourceSchema(name=name or catalog.name)
+        for relation_schema in catalog.schemas():
+            schema.declare(relation_schema.name, relation_schema.attributes)
+        return schema
+
+    def __str__(self):
+        rendered = ", ".join(str(signature) for signature in self)
+        return f"SourceSchema({self.name!r}: {rendered})"

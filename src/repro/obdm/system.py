@@ -1,0 +1,97 @@
+"""OBDM systems ``Σ = <J, D>``.
+
+An OBDM system pairs a specification with a concrete source database.
+It is the object the explanation framework works against: borders are
+computed over ``D``, and ``J``-matching evaluates certain answers over
+sub-databases of ``D`` (the borders).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Set, Tuple
+
+from ..errors import OBDMError
+from ..queries.atoms import Atom
+from ..queries.terms import Constant
+from .certain_answers import OntologyQuery
+from .database import SourceDatabase
+from .specification import OBDMSpecification
+from .virtual_abox import VirtualABox
+
+
+class OBDMSystem:
+    """The pair ``Σ = <J, D>`` of a specification and a source database."""
+
+    def __init__(self, specification: OBDMSpecification, database: SourceDatabase, name: str = "Sigma"):
+        self.specification = specification
+        self.database = database
+        self.name = name
+        self._abox: Optional[VirtualABox] = None
+
+    # -- convenience accessors ------------------------------------------------
+
+    @property
+    def ontology(self):
+        return self.specification.ontology
+
+    @property
+    def mapping(self):
+        return self.specification.mapping
+
+    @property
+    def schema(self):
+        return self.specification.schema
+
+    # -- ABox ------------------------------------------------------------------
+
+    def virtual_abox(self) -> VirtualABox:
+        """The retrieved ABox of the full database ``D`` (cached)."""
+        if self._abox is None:
+            self._abox = self.specification.retrieve_abox(self.database)
+        return self._abox
+
+    def invalidate(self) -> None:
+        """Drop cached state after the database has been modified."""
+        self._abox = None
+
+    # -- certain answers -----------------------------------------------------------
+
+    def certain_answers(
+        self,
+        query: OntologyQuery,
+        facts: Optional[Iterable[Atom]] = None,
+    ) -> Set[Tuple[Constant, ...]]:
+        """Certain answers over the full database or over a sub-database.
+
+        When *facts* is given it must be a subset of ``D`` (for instance a
+        border ``B_{t,r}(D)``); certain answers are then computed w.r.t.
+        the sub-database they induce, exactly as in Definition 3.4.
+        """
+        database = self._sub_database(facts)
+        abox = self.virtual_abox() if facts is None else None
+        return self.specification.certain_answers(query, database, abox=abox)
+
+    def is_certain_answer(
+        self,
+        query: OntologyQuery,
+        answer: Sequence,
+        facts: Optional[Iterable[Atom]] = None,
+    ) -> bool:
+        """Membership test for one tuple, optionally over a sub-database."""
+        database = self._sub_database(facts)
+        abox = self.virtual_abox() if facts is None else None
+        return self.specification.is_certain_answer(query, answer, database, abox=abox)
+
+    def _sub_database(self, facts: Optional[Iterable[Atom]]) -> SourceDatabase:
+        if facts is None:
+            return self.database
+        return self.database.restrict_to(facts)
+
+    # -- domain ----------------------------------------------------------------------
+
+    def domain(self) -> Set[Constant]:
+        """The active domain ``dom(D)``."""
+        return set(self.database.domain())
+
+    def __str__(self):
+        return f"OBDMSystem({self.name!r}: {self.specification.name!r} + {self.database.name!r})"

@@ -1,0 +1,62 @@
+"""Retrieval of the virtual ABox.
+
+Given a mapping ``M`` and a source database ``D``, the *retrieved* (or
+virtual) ABox ``A(M, D)`` is the set of ontology facts obtained by
+applying every mapping assertion to ``D``.  Under sound mappings, the
+models of ``<J, D>`` are exactly the models of the DL knowledge base
+``<O, A(M, D)>``, which is why certain answers can be computed by
+rewriting over the retrieved ABox (split approach) or by saturating it
+(chase approach).
+
+The :class:`VirtualABox` wrapper keeps the retrieved facts together with
+a fact index so repeated query evaluations (the explanation framework
+evaluates many candidate queries over the same border) are cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from ..queries.atoms import Atom
+from ..queries.evaluation import FactIndex
+from .database import SourceDatabase
+from .mapping import Mapping
+
+
+class VirtualABox:
+    """The ontology-level facts retrieved from a source database."""
+
+    def __init__(self, facts: Iterable[Atom], source_name: str = "D"):
+        self._facts: FrozenSet[Atom] = frozenset(facts)
+        self.source_name = source_name
+        self._index: Optional[FactIndex] = None
+
+    @property
+    def facts(self) -> FrozenSet[Atom]:
+        return self._facts
+
+    @property
+    def index(self) -> FactIndex:
+        if self._index is None:
+            self._index = FactIndex(self._facts)
+        return self._index
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self):
+        return iter(sorted(self._facts))
+
+    def __contains__(self, fact: Atom) -> bool:
+        return fact in self._facts
+
+    def predicates(self) -> Set[str]:
+        return {fact.predicate for fact in self._facts}
+
+    def __str__(self):
+        return f"VirtualABox({len(self)} facts from {self.source_name!r})"
+
+
+def retrieve_abox(mapping: Mapping, database: SourceDatabase) -> VirtualABox:
+    """Apply the mapping to the database and wrap the result."""
+    return VirtualABox(mapping.apply(database), source_name=database.name)

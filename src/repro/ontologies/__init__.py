@@ -1,0 +1,15 @@
+"""Ready-made domain ontologies, mappings and OBDM systems.
+
+Each module builds a complete OBDM specification (ontology, source
+schema, mapping) and helpers to populate it:
+
+* :mod:`repro.ontologies.university` — the paper's running example;
+* :mod:`repro.ontologies.loans`      — a credit/loan approval domain;
+* :mod:`repro.ontologies.compas`     — a synthetic recidivism-risk domain
+  (motivated by the paper's introduction on bias);
+* :mod:`repro.ontologies.movies`     — a movie recommendation domain.
+"""
+
+from . import compas, loans, movies, university
+
+__all__ = ["compas", "loans", "movies", "university"]

@@ -1,0 +1,117 @@
+"""A synthetic recidivism-risk (COMPAS-like) domain.
+
+The paper's introduction motivates explanation with the COMPAS
+controversy: a risk-assessment classifier whose errors were distributed
+unevenly across demographic groups.  The real COMPAS data cannot be
+shipped here, so this module defines a *synthetic* domain with the same
+shape — defendants with prior records, charge degrees, age bands and a
+sensitive group attribute, plus a risk classifier to be explained.  The
+point of the benchmark built on top of it (E6/E8) is that the explainer
+surfaces whether the best-describing query mentions the sensitive
+attribute (``belongsToGroup``) or only the legitimate ones.
+
+Source schema ``S``::
+
+    PERSON(id, age_band, group, priors_band)
+    CHARGE(id, person, degree)
+    SUPERVISION(person, officer)
+
+Ontology ``O``::
+
+    YoungDefendant ⊑ Defendant
+    RepeatOffender ⊑ Defendant
+    FirstTimeOffender ⊑ Defendant
+    RepeatOffender ⊑ ¬FirstTimeOffender
+    ∃chargedWith ⊑ Defendant
+    ∃chargedWith⁻ ⊑ Charge
+    FelonyCharge ⊑ Charge
+    MisdemeanorCharge ⊑ Charge
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dl.ontology import Ontology, disjoint, domain_of, range_of, subclass, subrole
+from ..obdm.database import SourceDatabase
+from ..obdm.mapping import Mapping
+from ..obdm.schema import SourceSchema
+from ..obdm.specification import OBDMSpecification
+from ..obdm.system import OBDMSystem
+
+
+def build_compas_schema() -> SourceSchema:
+    schema = SourceSchema(name="compas_source")
+    schema.declare("PERSON", ("id", "age_band", "grp", "priors_band"))
+    schema.declare("CHARGE", ("id", "person", "degree"))
+    schema.declare("SUPERVISION", ("person", "officer"))
+    return schema
+
+
+def build_compas_ontology() -> Ontology:
+    ontology = Ontology(
+        name="compas_O",
+        concept_names=(
+            "Defendant",
+            "YoungDefendant",
+            "AdultDefendant",
+            "SeniorDefendant",
+            "RepeatOffender",
+            "FirstTimeOffender",
+            "Charge",
+            "FelonyCharge",
+            "MisdemeanorCharge",
+        ),
+        role_names=("chargedWith", "belongsToGroup", "hasAgeBand", "supervisedBy"),
+    )
+    ontology.add_axioms(
+        [
+            subclass("YoungDefendant", "Defendant"),
+            subclass("AdultDefendant", "Defendant"),
+            subclass("SeniorDefendant", "Defendant"),
+            subclass("RepeatOffender", "Defendant"),
+            subclass("FirstTimeOffender", "Defendant"),
+            subclass("FelonyCharge", "Charge"),
+            subclass("MisdemeanorCharge", "Charge"),
+            domain_of("chargedWith", "Defendant"),
+            range_of("chargedWith", "Charge"),
+            domain_of("belongsToGroup", "Defendant"),
+            domain_of("supervisedBy", "Defendant"),
+            disjoint("RepeatOffender", "FirstTimeOffender"),
+            disjoint("FelonyCharge", "MisdemeanorCharge"),
+        ]
+    )
+    return ontology
+
+
+def build_compas_mapping() -> Mapping:
+    mapping = Mapping(name="compas_M")
+    mapping.add_assertion("PERSON(x, a, g, p)", "Defendant(x)", label="defendant")
+    mapping.add_assertion("PERSON(x, 'young', g, p)", "YoungDefendant(x)", label="young")
+    mapping.add_assertion("PERSON(x, 'adult', g, p)", "AdultDefendant(x)", label="adult")
+    mapping.add_assertion("PERSON(x, 'senior', g, p)", "SeniorDefendant(x)", label="senior")
+    mapping.add_assertion("PERSON(x, a, g, 'many')", "RepeatOffender(x)", label="repeat")
+    mapping.add_assertion("PERSON(x, a, g, 'none')", "FirstTimeOffender(x)", label="first_time")
+    mapping.add_assertion("PERSON(x, a, g, p)", "belongsToGroup(x, g)", label="group")
+    mapping.add_assertion("PERSON(x, a, g, p)", "hasAgeBand(x, a)", label="age_band")
+    mapping.add_assertion("CHARGE(c, x, d)", "chargedWith(x, c)", label="charged")
+    mapping.add_assertion("CHARGE(c, x, 'felony')", "FelonyCharge(c)", label="felony")
+    mapping.add_assertion("CHARGE(c, x, 'misdemeanor')", "MisdemeanorCharge(c)", label="misdemeanor")
+    mapping.add_assertion("SUPERVISION(x, o)", "supervisedBy(x, o)", label="supervision")
+    return mapping
+
+
+def build_compas_specification() -> OBDMSpecification:
+    return OBDMSpecification(
+        build_compas_ontology(), build_compas_schema(), build_compas_mapping(), name="compas_J"
+    )
+
+
+def build_compas_system(database: Optional[SourceDatabase] = None) -> OBDMSystem:
+    """An OBDM system over a supplied or generated recidivism database."""
+    specification = build_compas_specification()
+    if database is None:
+        from ..workloads.compas_gen import CompasWorkloadConfig, generate_compas_workload
+
+        database = generate_compas_workload(CompasWorkloadConfig(persons=60, seed=11)).database
+    return OBDMSystem(specification, database, name="compas_Sigma")

@@ -1,0 +1,174 @@
+"""The credit/loan domain.
+
+A loan-approval scenario: applicants apply for loans; a classifier
+predicts approval.  The OBDM specification exposes the applicants
+through a small credit ontology so that approvals can be explained in
+domain terms ("applicants with high income applying for small car loans").
+
+Source schema ``S``::
+
+    APPLICANT(id, income_band, employment, age_band)
+    LOANAPP(id, applicant, amount_band, purpose)
+    RESIDES(applicant, city)
+    GUARANTEE(applicant, guarantor)
+
+Ontology ``O`` (DL-Lite_R)::
+
+    appliesFor ⊑ involvedIn            (role hierarchy)
+    ∃appliesFor ⊑ Applicant            (domain)
+    ∃appliesFor⁻ ⊑ Loan                (range)
+    HighIncomeApplicant ⊑ Applicant
+    SalariedApplicant ⊑ Applicant
+    SmallLoan ⊑ Loan
+    ∃guaranteedBy ⊑ Applicant
+    HighIncomeApplicant ⊑ ¬LowIncomeApplicant   (disjointness)
+
+Mapping ``M`` (sound GAV): band/categorical columns are mapped to the
+corresponding concepts, and the relation structure to roles.  One
+assertion deliberately uses the SQL source-query form to exercise that
+code path end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dl.ontology import Ontology, disjoint, domain_of, range_of, subclass, subrole
+from ..obdm.database import SourceDatabase
+from ..obdm.mapping import Mapping
+from ..obdm.schema import SourceSchema
+from ..obdm.specification import OBDMSpecification
+from ..obdm.system import OBDMSystem
+
+
+def build_loan_schema() -> SourceSchema:
+    """The source schema of the loan domain."""
+    schema = SourceSchema(name="loan_source")
+    schema.declare("APPLICANT", ("id", "income_band", "employment", "age_band"))
+    schema.declare("LOANAPP", ("id", "applicant", "amount_band", "purpose"))
+    schema.declare("RESIDES", ("applicant", "city"))
+    schema.declare("GUARANTEE", ("applicant", "guarantor"))
+    return schema
+
+
+def build_loan_ontology() -> Ontology:
+    """The credit ontology."""
+    ontology = Ontology(
+        name="loan_O",
+        concept_names=(
+            "Applicant",
+            "HighIncomeApplicant",
+            "MediumIncomeApplicant",
+            "LowIncomeApplicant",
+            "SalariedApplicant",
+            "SelfEmployedApplicant",
+            "UnemployedApplicant",
+            "YoungApplicant",
+            "SeniorApplicant",
+            "Loan",
+            "SmallLoan",
+            "MediumLoan",
+            "LargeLoan",
+            "CarLoan",
+            "HomeLoan",
+            "BusinessLoan",
+        ),
+        role_names=("appliesFor", "involvedIn", "hasPurpose", "residesIn", "guaranteedBy"),
+    )
+    ontology.add_axioms(
+        [
+            subrole("appliesFor", "involvedIn"),
+            domain_of("appliesFor", "Applicant"),
+            range_of("appliesFor", "Loan"),
+            domain_of("guaranteedBy", "Applicant"),
+            range_of("guaranteedBy", "Applicant"),
+            domain_of("residesIn", "Applicant"),
+            subclass("HighIncomeApplicant", "Applicant"),
+            subclass("MediumIncomeApplicant", "Applicant"),
+            subclass("LowIncomeApplicant", "Applicant"),
+            subclass("SalariedApplicant", "Applicant"),
+            subclass("SelfEmployedApplicant", "Applicant"),
+            subclass("UnemployedApplicant", "Applicant"),
+            subclass("YoungApplicant", "Applicant"),
+            subclass("SeniorApplicant", "Applicant"),
+            subclass("SmallLoan", "Loan"),
+            subclass("MediumLoan", "Loan"),
+            subclass("LargeLoan", "Loan"),
+            subclass("CarLoan", "Loan"),
+            subclass("HomeLoan", "Loan"),
+            subclass("BusinessLoan", "Loan"),
+            disjoint("HighIncomeApplicant", "LowIncomeApplicant"),
+            disjoint("SmallLoan", "LargeLoan"),
+        ]
+    )
+    return ontology
+
+
+def build_loan_mapping() -> Mapping:
+    """The mapping between the loan source and the credit ontology."""
+    mapping = Mapping(name="loan_M")
+    # Applicants and their income/employment/age bands.
+    mapping.add_assertion("APPLICANT(x, b, e, a)", "Applicant(x)", label="applicant")
+    mapping.add_assertion(
+        "APPLICANT(x, 'high', e, a)", "HighIncomeApplicant(x)", label="income_high"
+    )
+    mapping.add_assertion(
+        "APPLICANT(x, 'medium', e, a)", "MediumIncomeApplicant(x)", label="income_medium"
+    )
+    mapping.add_assertion(
+        "APPLICANT(x, 'low', e, a)", "LowIncomeApplicant(x)", label="income_low"
+    )
+    mapping.add_assertion(
+        "APPLICANT(x, b, 'salaried', a)", "SalariedApplicant(x)", label="salaried"
+    )
+    mapping.add_assertion(
+        "APPLICANT(x, b, 'self-employed', a)", "SelfEmployedApplicant(x)", label="self_employed"
+    )
+    mapping.add_assertion(
+        "APPLICANT(x, b, 'unemployed', a)", "UnemployedApplicant(x)", label="unemployed"
+    )
+    mapping.add_assertion(
+        "APPLICANT(x, b, e, 'young')", "YoungApplicant(x)", label="young"
+    )
+    mapping.add_assertion(
+        "APPLICANT(x, b, e, 'senior')", "SeniorApplicant(x)", label="senior"
+    )
+    # Loan applications: structure and loan categories.
+    mapping.add_assertion("LOANAPP(l, x, s, p)", "appliesFor(x, l)", label="applies")
+    mapping.add_assertion("LOANAPP(l, x, s, p)", "hasPurpose(l, p)", label="purpose")
+    mapping.add_assertion("LOANAPP(l, x, 'small', p)", "SmallLoan(l)", label="small")
+    mapping.add_assertion("LOANAPP(l, x, 'medium', p)", "MediumLoan(l)", label="medium")
+    mapping.add_assertion("LOANAPP(l, x, 'large', p)", "LargeLoan(l)", label="large")
+    mapping.add_assertion("LOANAPP(l, x, s, 'car')", "CarLoan(l)", label="car")
+    mapping.add_assertion("LOANAPP(l, x, s, 'home')", "HomeLoan(l)", label="home")
+    mapping.add_assertion("LOANAPP(l, x, s, 'business')", "BusinessLoan(l)", label="business")
+    # Residence uses the SQL source-query form on purpose, to exercise the
+    # relational algebra path of the mapping layer.
+    mapping.add_assertion(
+        "SELECT r.applicant, r.city FROM RESIDES AS r",
+        "residesIn(x, y)",
+        label="residence_sql",
+    )
+    mapping.add_assertion("GUARANTEE(x, g)", "guaranteedBy(x, g)", label="guarantee")
+    return mapping
+
+
+def build_loan_specification() -> OBDMSpecification:
+    """The OBDM specification ``J`` of the loan domain."""
+    return OBDMSpecification(
+        build_loan_ontology(), build_loan_schema(), build_loan_mapping(), name="loan_J"
+    )
+
+
+def build_loan_system(database: Optional[SourceDatabase] = None) -> OBDMSystem:
+    """An OBDM system over a supplied or generated loan database.
+
+    When *database* is ``None`` a small default workload is generated
+    (see :mod:`repro.workloads.loans_gen`).
+    """
+    specification = build_loan_specification()
+    if database is None:
+        from ..workloads.loans_gen import LoanWorkloadConfig, generate_loan_workload
+
+        database = generate_loan_workload(LoanWorkloadConfig(applicants=60, seed=7)).database
+    return OBDMSystem(specification, database, name="loan_Sigma")

@@ -1,0 +1,119 @@
+"""A movie-recommendation domain.
+
+A third, structurally different domain used by the extended experiments:
+the classified objects (movies) are connected to users and directors by
+binary relations, so explanations naturally involve role chains (e.g.
+"movies directed by an award-winning director and liked by a critic"),
+which stresses borders of radius greater than 1.
+
+Source schema ``S``::
+
+    MOVIE(id, genre, decade)
+    DIRECTED(director, movie)
+    AWARDED(director)
+    RATED(user, movie, rating_band)
+    CRITIC(user)
+
+Ontology ``O``::
+
+    ∃directed ⊑ Director
+    ∃directed⁻ ⊑ Movie
+    ∃rated ⊑ Viewer
+    ∃rated⁻ ⊑ Movie
+    Critic ⊑ Viewer
+    AwardedDirector ⊑ Director
+    likedBy⁻ ⊑ rated         (a liked movie was rated by that viewer)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dl.ontology import Ontology, domain_of, range_of, subclass, subrole
+from ..dl.syntax import AtomicRole, RoleInclusion
+from ..obdm.database import SourceDatabase
+from ..obdm.mapping import Mapping
+from ..obdm.schema import SourceSchema
+from ..obdm.specification import OBDMSpecification
+from ..obdm.system import OBDMSystem
+
+
+def build_movie_schema() -> SourceSchema:
+    schema = SourceSchema(name="movie_source")
+    schema.declare("MOVIE", ("id", "genre", "decade"))
+    schema.declare("DIRECTED", ("director", "movie"))
+    schema.declare("AWARDED", ("director",))
+    schema.declare("RATED", ("user", "movie", "rating_band"))
+    schema.declare("CRITIC", ("user",))
+    return schema
+
+
+def build_movie_ontology() -> Ontology:
+    ontology = Ontology(
+        name="movie_O",
+        concept_names=(
+            "Movie",
+            "DramaMovie",
+            "ComedyMovie",
+            "ThrillerMovie",
+            "ClassicMovie",
+            "RecentMovie",
+            "Director",
+            "AwardedDirector",
+            "Viewer",
+            "Critic",
+        ),
+        role_names=("directedBy", "ratedBy", "likedBy", "hasGenre"),
+    )
+    ontology.add_axioms(
+        [
+            subclass("DramaMovie", "Movie"),
+            subclass("ComedyMovie", "Movie"),
+            subclass("ThrillerMovie", "Movie"),
+            subclass("ClassicMovie", "Movie"),
+            subclass("RecentMovie", "Movie"),
+            subclass("AwardedDirector", "Director"),
+            subclass("Critic", "Viewer"),
+            domain_of("directedBy", "Movie"),
+            range_of("directedBy", "Director"),
+            domain_of("ratedBy", "Movie"),
+            range_of("ratedBy", "Viewer"),
+            domain_of("likedBy", "Movie"),
+            range_of("likedBy", "Viewer"),
+            RoleInclusion(AtomicRole("likedBy"), AtomicRole("ratedBy")),
+        ]
+    )
+    return ontology
+
+
+def build_movie_mapping() -> Mapping:
+    mapping = Mapping(name="movie_M")
+    mapping.add_assertion("MOVIE(m, g, d)", "Movie(m)", label="movie")
+    mapping.add_assertion("MOVIE(m, g, d)", "hasGenre(m, g)", label="genre_role")
+    mapping.add_assertion("MOVIE(m, 'drama', d)", "DramaMovie(m)", label="drama")
+    mapping.add_assertion("MOVIE(m, 'comedy', d)", "ComedyMovie(m)", label="comedy")
+    mapping.add_assertion("MOVIE(m, 'thriller', d)", "ThrillerMovie(m)", label="thriller")
+    mapping.add_assertion("MOVIE(m, g, 'classic')", "ClassicMovie(m)", label="classic")
+    mapping.add_assertion("MOVIE(m, g, 'recent')", "RecentMovie(m)", label="recent")
+    mapping.add_assertion("DIRECTED(p, m)", "directedBy(m, p)", label="directed")
+    mapping.add_assertion("AWARDED(p)", "AwardedDirector(p)", label="awarded")
+    mapping.add_assertion("RATED(u, m, b)", "ratedBy(m, u)", label="rated")
+    mapping.add_assertion("RATED(u, m, 'high')", "likedBy(m, u)", label="liked")
+    mapping.add_assertion("CRITIC(u)", "Critic(u)", label="critic")
+    return mapping
+
+
+def build_movie_specification() -> OBDMSpecification:
+    return OBDMSpecification(
+        build_movie_ontology(), build_movie_schema(), build_movie_mapping(), name="movie_J"
+    )
+
+
+def build_movie_system(database: Optional[SourceDatabase] = None) -> OBDMSystem:
+    """An OBDM system over a supplied or generated movie database."""
+    specification = build_movie_specification()
+    if database is None:
+        from ..workloads.movies_gen import MovieWorkloadConfig, generate_movie_workload
+
+        database = generate_movie_workload(MovieWorkloadConfig(movies=40, seed=3)).database
+    return OBDMSystem(specification, database, name="movie_Sigma")

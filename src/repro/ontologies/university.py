@@ -1,0 +1,136 @@
+"""The university domain: the paper's running example (Examples 3.3–3.8).
+
+The source database contains the relations of Example 3.6::
+
+    STUD(student)                      -- classified objects
+    LOC(university, city)              -- where universities are located
+    ENR(student, subject, university)  -- enrolments
+
+The ontology has the single axiom ``studies ⊑ likes`` and the mapping is
+
+    ENR(x, y, z) ⇝ studies(x, y)
+    ENR(x, y, z) ⇝ taughtIn(y, z)
+    LOC(x, y)    ⇝ locatedIn(x, y)
+
+The module also exposes the labeling ``λ`` of the example (A10, B80,
+C12, D50 positive; E25 negative), the three candidate queries q1/q2/q3
+and the abstract database of Example 3.3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.labeling import Labeling
+from ..dl.ontology import Ontology, subrole
+from ..obdm.database import SourceDatabase
+from ..obdm.mapping import Mapping
+from ..obdm.schema import SourceSchema
+from ..obdm.specification import OBDMSpecification
+from ..obdm.system import OBDMSystem
+from ..queries.cq import ConjunctiveQuery
+from ..queries.parser import parse_cq
+
+# The rows of Example 3.6.
+STUDENTS: Tuple[str, ...] = ("A10", "B80", "C12", "D50", "E25")
+ENROLMENTS: Tuple[Tuple[str, str, str], ...] = (
+    ("A10", "Math", "TV"),
+    ("B80", "Math", "Sap"),
+    ("C12", "Science", "Norm"),
+    ("D50", "Science", "TV"),
+    ("E25", "Math", "Pol"),
+)
+LOCATIONS: Tuple[Tuple[str, str], ...] = (
+    ("Sap", "Rome"),
+    ("TV", "Rome"),
+    ("Pol", "Milan"),
+)
+
+POSITIVE_STUDENTS: Tuple[str, ...] = ("A10", "B80", "C12", "D50")
+NEGATIVE_STUDENTS: Tuple[str, ...] = ("E25",)
+
+
+def build_university_schema() -> SourceSchema:
+    """The source schema ``S`` of the running example."""
+    schema = SourceSchema(name="university_source")
+    schema.declare("STUD", ("student",))
+    schema.declare("ENR", ("student", "subject", "university"))
+    schema.declare("LOC", ("university", "city"))
+    return schema
+
+
+def build_university_database(schema: SourceSchema = None) -> SourceDatabase:
+    """The ``S``-database ``D`` of Example 3.6."""
+    schema = schema or build_university_schema()
+    database = SourceDatabase(schema, name="university_D")
+    for student in STUDENTS:
+        database.add("STUD", student)
+    for student, subject, university in ENROLMENTS:
+        database.add("ENR", student, subject, university)
+    for university, city in LOCATIONS:
+        database.add("LOC", university, city)
+    return database
+
+
+def build_university_ontology() -> Ontology:
+    """The ontology ``O = {studies ⊑ likes}`` plus mapping-only vocabulary."""
+    ontology = Ontology(name="university_O", role_names=("studies", "likes", "taughtIn", "locatedIn"))
+    ontology.add_axiom(subrole("studies", "likes"))
+    return ontology
+
+
+def build_university_mapping() -> Mapping:
+    """The mapping ``M`` of Example 3.6."""
+    mapping = Mapping(name="university_M")
+    mapping.add_assertion("ENR(x, y, z)", "studies(x, y)", label="m1")
+    mapping.add_assertion("ENR(x, y, z)", "taughtIn(y, z)", label="m2")
+    mapping.add_assertion("LOC(x, y)", "locatedIn(x, y)", label="m3")
+    return mapping
+
+
+def build_university_specification() -> OBDMSpecification:
+    """The OBDM specification ``J = <O, S, M>`` of the running example."""
+    return OBDMSpecification(
+        build_university_ontology(),
+        build_university_schema(),
+        build_university_mapping(),
+        name="university_J",
+    )
+
+
+def build_university_system() -> OBDMSystem:
+    """The OBDM system ``Σ = <J, D>`` of the running example."""
+    specification = build_university_specification()
+    database = build_university_database(specification.schema)
+    return OBDMSystem(specification, database, name="university_Sigma")
+
+
+def build_university_labeling() -> Labeling:
+    """The labeling ``λ`` of Example 3.6 (4 positives, 1 negative)."""
+    return Labeling(POSITIVE_STUDENTS, NEGATIVE_STUDENTS, name="university_lambda")
+
+
+def example_queries() -> Dict[str, ConjunctiveQuery]:
+    """The candidate queries q1, q2, q3 discussed in Examples 3.6 and 3.8."""
+    return {
+        "q1": parse_cq("q1(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, 'Rome')"),
+        "q2": parse_cq("q2(x) :- studies(x, 'Math')"),
+        "q3": parse_cq("q3(x) :- likes(x, 'Science')"),
+    }
+
+
+def build_example_3_3_database() -> SourceDatabase:
+    """The abstract database of Example 3.3 (borders of radius 0..2)."""
+    schema = SourceSchema(name="example33_source")
+    schema.declare("R", ("a1", "a2"))
+    schema.declare("S", ("a1", "a2"))
+    schema.declare("Z", ("a1", "a2"))
+    schema.declare("W", ("a1", "a2"))
+    database = SourceDatabase(schema, name="example33_D")
+    database.add("R", "a", "b")
+    database.add("S", "a", "c")
+    database.add("Z", "c", "d")
+    database.add("W", "d", "e")
+    database.add("W", "e", "h")
+    database.add("R", "f", "g")
+    return database

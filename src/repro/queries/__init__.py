@@ -1,0 +1,66 @@
+"""Query-language substrate: terms, atoms, CQs, UCQs, evaluation, containment.
+
+This package is the shared query machinery used by the relational data
+layer, the OBDM layer (mappings, rewriting, certain answers) and the
+explanation framework itself.
+"""
+
+from .atoms import (
+    Atom,
+    Substitution,
+    apply_substitution,
+    atoms_constants,
+    atoms_variables,
+    compose,
+    facts_by_predicate,
+    ground_atom,
+)
+from .containment import (
+    are_equivalent,
+    core_of,
+    deduplicate_queries,
+    is_contained_in,
+    ucq_are_equivalent,
+    ucq_is_contained_in,
+)
+from .cq import ConjunctiveQuery, freeze
+from .evaluation import FactIndex, contains_tuple, evaluate, holds, iter_homomorphisms
+from .parser import parse_cq, parse_query, parse_ucq
+from .terms import Constant, Term, Variable, VariableFactory, is_constant, is_variable, make_term
+from .ucq import UCQ, UnionOfConjunctiveQueries
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "ConjunctiveQuery",
+    "FactIndex",
+    "Substitution",
+    "Term",
+    "UCQ",
+    "UnionOfConjunctiveQueries",
+    "Variable",
+    "VariableFactory",
+    "apply_substitution",
+    "are_equivalent",
+    "atoms_constants",
+    "atoms_variables",
+    "compose",
+    "contains_tuple",
+    "core_of",
+    "deduplicate_queries",
+    "evaluate",
+    "facts_by_predicate",
+    "freeze",
+    "ground_atom",
+    "holds",
+    "is_constant",
+    "is_contained_in",
+    "is_variable",
+    "iter_homomorphisms",
+    "make_term",
+    "parse_cq",
+    "parse_query",
+    "parse_ucq",
+    "ucq_are_equivalent",
+    "ucq_is_contained_in",
+]

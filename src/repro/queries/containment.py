@@ -1,0 +1,114 @@
+"""Containment and equivalence of conjunctive queries and UCQs.
+
+CQ containment is decided with the classical Chandra–Merlin canonical
+database argument: ``q1 ⊑ q2`` iff the frozen head of ``q1`` is an
+answer of ``q2`` evaluated over the canonical (frozen) database of
+``q1``.  UCQ containment reduces to CQ containment disjunct-wise.
+
+Containment is used by:
+
+* :meth:`repro.queries.ucq.UnionOfConjunctiveQueries.minimized` to prune
+  redundant disjuncts of perfect rewritings;
+* the explanation search, to avoid scoring semantically duplicate
+  candidate queries;
+* core-computation (:func:`core_of`), which minimises a CQ by removing
+  redundant atoms — the paper's criterion δ5 rewards small queries, so
+  candidates are reduced to their cores before scoring.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..errors import QueryArityError, UnsafeQueryError
+from .atoms import Atom
+from .cq import ConjunctiveQuery, freeze
+from .evaluation import FactIndex, contains_tuple
+from .ucq import UnionOfConjunctiveQueries
+
+
+def is_contained_in(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
+    """``True`` iff every answer of *first* is an answer of *second* (q1 ⊑ q2)."""
+    if first.arity != second.arity:
+        return False
+    frozen_body, frozen_head = freeze(first)
+    index = FactIndex(frozen_body)
+    return contains_tuple(second, frozen_head, (), index=index)
+
+
+def are_equivalent(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
+    """Semantic equivalence of two CQs (mutual containment)."""
+    return is_contained_in(first, second) and is_contained_in(second, first)
+
+
+def ucq_is_contained_in(
+    first: UnionOfConjunctiveQueries, second: UnionOfConjunctiveQueries
+) -> bool:
+    """UCQ containment: every disjunct of *first* is contained in *second*.
+
+    ``⋃ q_i ⊑ ⋃ p_j`` iff for every ``q_i`` there is some ``p_j`` with
+    ``q_i ⊑ p_j`` (Sagiv–Yannakakis).
+    """
+    if first.arity != second.arity:
+        return False
+    return all(
+        any(is_contained_in(disjunct, other) for other in second.disjuncts)
+        for disjunct in first.disjuncts
+    )
+
+
+def ucq_are_equivalent(
+    first: UnionOfConjunctiveQueries, second: UnionOfConjunctiveQueries
+) -> bool:
+    """Semantic equivalence of two UCQs."""
+    return ucq_is_contained_in(first, second) and ucq_is_contained_in(second, first)
+
+
+def core_of(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Return an equivalent CQ with a minimal number of body atoms.
+
+    Greedily drops atoms whose removal leaves an equivalent query.  The
+    result is a core of the query (unique up to isomorphism), which is
+    the right object to measure with the paper's δ5 criterion — a query
+    should not be penalised for containing redundant atoms.
+    """
+    body: List[Atom] = list(query.body)
+    changed = True
+    while changed and len(body) > 1:
+        changed = False
+        for index in range(len(body)):
+            candidate_body = body[:index] + body[index + 1:]
+            try:
+                candidate = query.with_body(candidate_body)
+            except (QueryArityError, UnsafeQueryError):
+                # Dropping the atom would make the query unsafe (a head
+                # variable loses its only occurrence); keep the atom.
+                continue
+            if are_equivalent(candidate, query):
+                body = candidate_body
+                changed = True
+                break
+    return query.with_body(body)
+
+
+def deduplicate_queries(queries: Iterable[ConjunctiveQuery]) -> List[ConjunctiveQuery]:
+    """Drop semantically equivalent duplicates, keeping first occurrences.
+
+    A cheap syntactic signature pass runs first; full equivalence checks
+    are only performed between queries that survive it and use the same
+    predicate multiset (a necessary condition for equivalence of cores).
+    """
+    survivors: List[ConjunctiveQuery] = []
+    seen_signatures = set()
+    for query in queries:
+        signature = query.signature()
+        if signature in seen_signatures:
+            continue
+        seen_signatures.add(signature)
+        if any(
+            candidate.arity == query.arity and are_equivalent(candidate, query)
+            for candidate in survivors
+        ):
+            continue
+        survivors.append(query)
+    return survivors

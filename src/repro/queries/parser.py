@@ -1,0 +1,183 @@
+"""A small datalog-style parser for CQs and UCQs.
+
+The concrete syntax accepted is the one used throughout the paper and in
+this repository's examples and tests::
+
+    q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, 'Rome')
+    q(x) :- studies(x, 'Math')
+
+* lower-case bare identifiers in argument positions are variables;
+* quoted strings (single or double quotes) and numbers are constants;
+* identifiers starting with an upper-case letter in argument positions
+  are also treated as constants (handy for individuals such as ``Rome``);
+* a UCQ is written as several rules with the same head separated by
+  newlines or ``;``.
+
+The parser is deliberately small: a tokenizer plus a recursive-descent
+grammar, with precise error messages carrying the offending position.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from ..errors import QueryParseError
+from .atoms import Atom
+from .cq import ConjunctiveQuery
+from .terms import Constant, Term, Variable
+from .ucq import UnionOfConjunctiveQueries
+
+_TOKEN_SPEC = [
+    ("ARROW", r":-|<-"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("SEMI", r";"),
+    ("STRING", r"'[^']*'|\"[^\"]*\""),
+    ("NUMBER", r"-?\d+\.\d+|-?\d+"),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_\-]*"),
+    ("WS", r"[ \t]+"),
+    ("NEWLINE", r"\r?\n"),
+    ("MISMATCH", r"."),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup or "MISMATCH"
+        value = match.group()
+        if kind == "WS":
+            continue
+        if kind == "MISMATCH":
+            raise QueryParseError(f"unexpected character {value!r} at position {match.start()}")
+        tokens.append(_Token(kind, value, match.start()))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: Sequence[_Token], text: str):
+        self._tokens = list(tokens)
+        self._text = text
+        self._position = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QueryParseError(f"unexpected end of input in {self._text!r}")
+        self._position += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise QueryParseError(
+                f"expected {kind} but found {token.value!r} at position {token.position}"
+            )
+        return token
+
+    def _skip_newlines(self) -> None:
+        while True:
+            token = self._peek()
+            if token is not None and token.kind in ("NEWLINE", "SEMI"):
+                self._position += 1
+            else:
+                return
+
+    def at_end(self) -> bool:
+        self._skip_newlines()
+        return self._peek() is None
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "STRING":
+            return Constant(token.value[1:-1])
+        if token.kind == "NUMBER":
+            text = token.value
+            return Constant(float(text) if "." in text else int(text))
+        if token.kind == "NAME":
+            if token.value[0].isupper():
+                return Constant(token.value)
+            return Variable(token.value)
+        raise QueryParseError(
+            f"expected a term but found {token.value!r} at position {token.position}"
+        )
+
+    def parse_atom(self) -> Atom:
+        predicate = self._expect("NAME").value
+        self._expect("LPAREN")
+        args: List[Term] = []
+        if self._peek() is not None and self._peek().kind != "RPAREN":
+            args.append(self.parse_term())
+            while self._peek() is not None and self._peek().kind == "COMMA":
+                self._next()
+                args.append(self.parse_term())
+        self._expect("RPAREN")
+        return Atom(predicate, tuple(args))
+
+    def parse_rule(self) -> ConjunctiveQuery:
+        self._skip_newlines()
+        head_atom = self.parse_atom()
+        for argument in head_atom.args:
+            if not isinstance(argument, Variable):
+                raise QueryParseError(
+                    f"head arguments must be variables, found {argument} in {head_atom}"
+                )
+        self._expect("ARROW")
+        body: List[Atom] = [self.parse_atom()]
+        while self._peek() is not None and self._peek().kind == "COMMA":
+            self._next()
+            body.append(self.parse_atom())
+        return ConjunctiveQuery(
+            tuple(head_atom.args), tuple(body), name=head_atom.predicate
+        )
+
+
+def parse_cq(text: str) -> ConjunctiveQuery:
+    """Parse a single conjunctive query from rule syntax."""
+    parser = _Parser(_tokenize(text), text)
+    query = parser.parse_rule()
+    if not parser.at_end():
+        token = parser._peek()
+        raise QueryParseError(
+            f"trailing input starting at {token.value!r} (position {token.position})"
+        )
+    return query
+
+
+def parse_ucq(text: str, name: Optional[str] = None) -> UnionOfConjunctiveQueries:
+    """Parse a UCQ given as several rules separated by newlines or ``;``."""
+    parser = _Parser(_tokenize(text), text)
+    disjuncts: List[ConjunctiveQuery] = []
+    while not parser.at_end():
+        disjuncts.append(parser.parse_rule())
+    if not disjuncts:
+        raise QueryParseError("no rules found in UCQ text")
+    return UnionOfConjunctiveQueries(tuple(disjuncts), name or disjuncts[0].name)
+
+
+def parse_query(text: str) -> Union[ConjunctiveQuery, UnionOfConjunctiveQueries]:
+    """Parse either a CQ (single rule) or a UCQ (several rules)."""
+    ucq = parse_ucq(text)
+    if len(ucq) == 1:
+        return ucq.disjuncts[0]
+    return ucq

@@ -1,0 +1,124 @@
+"""Terms of the query language: constants and variables.
+
+The query substrate is shared by three layers of the library:
+
+* source queries in mapping assertions (over the relational schema ``S``);
+* ontology queries (CQs / UCQs over concept and role names);
+* the explanation framework, which manipulates queries as candidate
+  explanations.
+
+Terms are immutable and hashable so they can be freely used in sets and
+as dictionary keys (substitutions are plain ``dict`` objects).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A query variable, identified by its name (e.g. ``x``, ``y0``)."""
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("variable name must be a non-empty string")
+
+    def sort_key(self):
+        """Total order across terms: variables sort after constants."""
+        return (1, "", self.name)
+
+    def __lt__(self, other):
+        if isinstance(other, (Variable, Constant)):
+            return self.sort_key() < other.sort_key()
+        return NotImplemented
+
+    def __str__(self):
+        return self.name
+
+    def __repr__(self):
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant value (database constant or ontology individual).
+
+    Values are stored as strings, integers, floats or booleans.  Two
+    constants are equal iff their values are equal, so ``Constant(1)``
+    and ``Constant("1")`` are distinct.
+    """
+
+    value: Union[str, int, float, bool]
+
+    def sort_key(self):
+        """Total order across terms, robust to mixed value types."""
+        return (0, type(self.value).__name__, repr(self.value))
+
+    def __lt__(self, other):
+        if isinstance(other, (Variable, Constant)):
+            return self.sort_key() < other.sort_key()
+        return NotImplemented
+
+    def __str__(self):
+        return str(self.value)
+
+    def __repr__(self):
+        return f"Constant({self.value!r})"
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """Return ``True`` if *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return ``True`` if *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def make_term(value) -> Term:
+    """Coerce a raw Python value into a :class:`Term`.
+
+    Strings starting with ``?`` become variables (``?x`` -> ``Variable('x')``);
+    existing terms are returned unchanged; everything else becomes a
+    :class:`Constant`.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str) and value.startswith("?") and len(value) > 1:
+        return Variable(value[1:])
+    return Constant(value)
+
+
+class VariableFactory:
+    """Generates fresh variables that do not clash with a reserved set.
+
+    Used by query rewriting and candidate generation, which repeatedly
+    need "new" variables distinct from every variable already present in
+    a query.
+    """
+
+    def __init__(self, reserved: Iterable[Variable] = (), prefix: str = "_v"):
+        self._reserved = {v.name for v in reserved}
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def reserve(self, variables: Iterable[Variable]) -> None:
+        """Mark *variables* as taken so they are never generated."""
+        self._reserved.update(v.name for v in variables)
+
+    def fresh(self) -> Variable:
+        """Return a variable whose name has never been produced before."""
+        while True:
+            name = f"{self._prefix}{next(self._counter)}"
+            if name not in self._reserved:
+                self._reserved.add(name)
+                return Variable(name)

@@ -1,0 +1,146 @@
+"""Unions of conjunctive queries (UCQs).
+
+A UCQ is a finite set of CQs of the same arity; its answers are the
+union of the answers of its disjuncts.  UCQs appear in two places:
+
+* as the target language of the DL-Lite perfect rewriting
+  (:mod:`repro.obdm.rewriting`);
+* as a richer explanation language ``L_O = UCQ`` — the paper's criterion
+  δ6 ("are there few disjuncts used by the query?") only makes sense for
+  UCQs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import QueryArityError
+from .atoms import Atom
+from .cq import ConjunctiveQuery
+from .evaluation import FactIndex, contains_tuple, evaluate
+from .terms import Constant
+
+
+@dataclass(frozen=True)
+class UnionOfConjunctiveQueries:
+    """An immutable union of CQs of identical arity."""
+
+    disjuncts: Tuple[ConjunctiveQuery, ...]
+    name: str = "Q"
+
+    def __post_init__(self):
+        disjuncts = tuple(self.disjuncts)
+        if not disjuncts:
+            raise QueryArityError("a UCQ must have at least one disjunct")
+        arities = {cq.arity for cq in disjuncts}
+        if len(arities) != 1:
+            raise QueryArityError(f"UCQ disjuncts have mixed arities: {sorted(arities)}")
+        object.__setattr__(self, "disjuncts", disjuncts)
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def of(disjuncts: Iterable[ConjunctiveQuery], name: str = "Q") -> "UnionOfConjunctiveQueries":
+        return UnionOfConjunctiveQueries(tuple(disjuncts), name)
+
+    @staticmethod
+    def single(query: ConjunctiveQuery) -> "UnionOfConjunctiveQueries":
+        """Wrap a single CQ as a one-disjunct UCQ."""
+        return UnionOfConjunctiveQueries((query,), query.name)
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return self.disjuncts[0].arity
+
+    def disjunct_count(self) -> int:
+        """Number of disjuncts (the quantity criterion δ6 measures)."""
+        return len(self.disjuncts)
+
+    def atom_count(self) -> int:
+        """Total number of atoms across all disjuncts."""
+        return sum(cq.atom_count() for cq in self.disjuncts)
+
+    def predicates(self) -> Set[str]:
+        result: Set[str] = set()
+        for cq in self.disjuncts:
+            result |= cq.predicates()
+        return result
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    # -- operations ---------------------------------------------------------
+
+    def deduplicated(self) -> "UnionOfConjunctiveQueries":
+        """Remove syntactically equivalent disjuncts (canonical-form equality)."""
+        seen = set()
+        unique: List[ConjunctiveQuery] = []
+        for cq in self.disjuncts:
+            signature = cq.signature()
+            if signature not in seen:
+                seen.add(signature)
+                unique.append(cq)
+        return UnionOfConjunctiveQueries(tuple(unique), self.name)
+
+    def minimized(self) -> "UnionOfConjunctiveQueries":
+        """Remove disjuncts subsumed by another disjunct.
+
+        Uses CQ containment: if ``cq_i ⊑ cq_j`` (every answer of ``cq_i``
+        is an answer of ``cq_j``) then ``cq_i`` is redundant in the union.
+        Import is local to avoid a module cycle.
+        """
+        from .containment import is_contained_in
+
+        survivors: List[ConjunctiveQuery] = []
+        deduplicated = self.deduplicated().disjuncts
+        for i, candidate in enumerate(deduplicated):
+            redundant = False
+            for j, other in enumerate(deduplicated):
+                if i == j:
+                    continue
+                if is_contained_in(candidate, other):
+                    # Break ties deterministically: drop the later disjunct
+                    # when the two are mutually contained (equivalent).
+                    if is_contained_in(other, candidate) and i < j:
+                        continue
+                    redundant = True
+                    break
+            if not redundant:
+                survivors.append(candidate)
+        return UnionOfConjunctiveQueries(tuple(survivors), self.name)
+
+    def union(self, other: "UnionOfConjunctiveQueries") -> "UnionOfConjunctiveQueries":
+        """Union of two UCQs of the same arity."""
+        return UnionOfConjunctiveQueries(self.disjuncts + other.disjuncts, self.name).deduplicated()
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, facts: Iterable[Atom], index: Optional[FactIndex] = None) -> Set[Tuple[Constant, ...]]:
+        """Answers of the UCQ over a fact set (union of disjunct answers)."""
+        index = index if index is not None else FactIndex(facts)
+        answers: Set[Tuple[Constant, ...]] = set()
+        for cq in self.disjuncts:
+            answers |= evaluate(cq, (), index=index)
+        return answers
+
+    def contains_tuple(
+        self,
+        answer: Sequence[Constant],
+        facts: Iterable[Atom],
+        index: Optional[FactIndex] = None,
+    ) -> bool:
+        """``True`` iff some disjunct has *answer* among its answers."""
+        index = index if index is not None else FactIndex(facts)
+        return any(contains_tuple(cq, answer, (), index=index) for cq in self.disjuncts)
+
+    def __str__(self):
+        return " UNION ".join(str(cq) for cq in self.disjuncts)
+
+
+UCQ = UnionOfConjunctiveQueries

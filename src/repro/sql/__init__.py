@@ -1,0 +1,38 @@
+"""Relational data-layer substrate: relations, catalogs, algebra, SQL, executor."""
+
+from .algebra import (
+    AlgebraNode,
+    Condition,
+    CrossProduct,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    natural_join,
+)
+from .catalog import Catalog
+from .executor import Executor, SourceQuery
+from .relation import Relation, RelationSchema, Row
+from .sql_parser import ParsedSelect, parse_sql, sql_to_algebra
+
+__all__ = [
+    "AlgebraNode",
+    "Catalog",
+    "Condition",
+    "CrossProduct",
+    "Executor",
+    "ParsedSelect",
+    "Project",
+    "Relation",
+    "RelationSchema",
+    "Rename",
+    "Row",
+    "Scan",
+    "Select",
+    "SourceQuery",
+    "Union",
+    "natural_join",
+    "parse_sql",
+    "sql_to_algebra",
+]

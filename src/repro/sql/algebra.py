@@ -1,0 +1,225 @@
+"""Relational algebra operators over :class:`~repro.sql.relation.Relation`.
+
+The mapping layer of an OBDM specification uses *source queries*: in the
+paper these are arbitrary (efficiently computable) queries over the
+source schema.  This module implements a small but complete
+select-project-join-union-rename algebra, which is the target of the
+mini SQL parser (:mod:`repro.sql.sql_parser`) and is also usable
+directly as an embedded DSL.
+
+Each operator is a node with an :meth:`evaluate` method taking a
+:class:`~repro.sql.catalog.Catalog` and producing a :class:`Relation`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import SchemaError
+from .catalog import Catalog
+from .relation import Relation, RelationSchema
+
+Value = Union[str, int, float, bool]
+
+
+class AlgebraNode:
+    """Base class of relational algebra expression nodes."""
+
+    def evaluate(self, catalog: Catalog) -> Relation:
+        raise NotImplementedError
+
+    def output_attributes(self, catalog: Catalog) -> Tuple[str, ...]:
+        """Attribute names of the relation this node produces."""
+        return self.evaluate(catalog).schema.attributes
+
+
+@dataclass(frozen=True)
+class Scan(AlgebraNode):
+    """Read a base relation, optionally renaming it (``FROM R AS alias``)."""
+
+    relation_name: str
+    alias: Optional[str] = None
+
+    def evaluate(self, catalog: Catalog) -> Relation:
+        relation = catalog.relation(self.relation_name)
+        label = self.alias or self.relation_name
+        attributes = tuple(f"{label}.{a}" for a in relation.schema.attributes)
+        renamed = Relation(RelationSchema(label, attributes))
+        for row in relation:
+            renamed.add(row)
+        return renamed
+
+
+@dataclass(frozen=True)
+class Condition:
+    """An equality condition ``left = right``.
+
+    Each side is either an attribute reference (string containing a dot,
+    e.g. ``e.student``) or a constant value.  Attribute references are
+    resolved against the input schema; a bare attribute name (no dot) is
+    accepted when it is unambiguous.
+    """
+
+    left: Union[str, Value]
+    right: Union[str, Value]
+    left_is_attribute: bool = True
+    right_is_attribute: bool = False
+
+    def resolve(self, attributes: Sequence[str]) -> Callable[[Tuple], bool]:
+        def position(reference: str) -> int:
+            if reference in attributes:
+                return attributes.index(reference)
+            matches = [i for i, a in enumerate(attributes) if a.split(".")[-1] == reference]
+            if len(matches) == 1:
+                return matches[0]
+            if not matches:
+                raise SchemaError(f"unknown attribute {reference!r} among {list(attributes)}")
+            raise SchemaError(f"ambiguous attribute {reference!r} among {list(attributes)}")
+
+        if self.left_is_attribute:
+            left_position = position(str(self.left))
+            left_getter = lambda row: row[left_position]
+        else:
+            left_getter = lambda row: self.left
+        if self.right_is_attribute:
+            right_position = position(str(self.right))
+            right_getter = lambda row: row[right_position]
+        else:
+            right_getter = lambda row: self.right
+        return lambda row: left_getter(row) == right_getter(row)
+
+
+@dataclass(frozen=True)
+class Select(AlgebraNode):
+    """Selection: keep rows satisfying every condition."""
+
+    child: AlgebraNode
+    conditions: Tuple[Condition, ...]
+
+    def evaluate(self, catalog: Catalog) -> Relation:
+        relation = self.child.evaluate(catalog)
+        predicates = [c.resolve(relation.schema.attributes) for c in self.conditions]
+        result = Relation(relation.schema)
+        for row in relation:
+            if all(predicate(row) for predicate in predicates):
+                result.add(row)
+        return result
+
+
+@dataclass(frozen=True)
+class Project(AlgebraNode):
+    """Projection onto a list of attribute references (dot or bare names)."""
+
+    child: AlgebraNode
+    attributes: Tuple[str, ...]
+
+    def evaluate(self, catalog: Catalog) -> Relation:
+        relation = self.child.evaluate(catalog)
+        available = relation.schema.attributes
+
+        def position(reference: str) -> int:
+            if reference in available:
+                return available.index(reference)
+            matches = [i for i, a in enumerate(available) if a.split(".")[-1] == reference]
+            if len(matches) == 1:
+                return matches[0]
+            if not matches:
+                raise SchemaError(f"unknown attribute {reference!r} among {list(available)}")
+            raise SchemaError(f"ambiguous attribute {reference!r} among {list(available)}")
+
+        positions = [position(reference) for reference in self.attributes]
+        schema = RelationSchema(relation.schema.name, tuple(self.attributes))
+        result = Relation(schema)
+        for row in relation:
+            result.add(tuple(row[p] for p in positions))
+        return result
+
+
+@dataclass(frozen=True)
+class CrossProduct(AlgebraNode):
+    """Cartesian product of two inputs (joins = product + selection)."""
+
+    left: AlgebraNode
+    right: AlgebraNode
+
+    def evaluate(self, catalog: Catalog) -> Relation:
+        left = self.left.evaluate(catalog)
+        right = self.right.evaluate(catalog)
+        attributes = left.schema.attributes + right.schema.attributes
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(
+                "cross product would produce duplicate attribute names; "
+                "use aliases to disambiguate"
+            )
+        schema = RelationSchema("product", attributes)
+        result = Relation(schema)
+        for left_row in left:
+            for right_row in right:
+                result.add(left_row + right_row)
+        return result
+
+
+@dataclass(frozen=True)
+class Union(AlgebraNode):
+    """Set union of two inputs with compatible arities."""
+
+    left: AlgebraNode
+    right: AlgebraNode
+
+    def evaluate(self, catalog: Catalog) -> Relation:
+        left = self.left.evaluate(catalog)
+        right = self.right.evaluate(catalog)
+        if left.schema.arity != right.schema.arity:
+            raise SchemaError(
+                f"union of incompatible arities: {left.schema.arity} vs {right.schema.arity}"
+            )
+        result = Relation(left.schema)
+        for row in left:
+            result.add(row)
+        for row in right:
+            result.add(row)
+        return result
+
+
+@dataclass(frozen=True)
+class Rename(AlgebraNode):
+    """Rename output attributes positionally."""
+
+    child: AlgebraNode
+    attributes: Tuple[str, ...]
+
+    def evaluate(self, catalog: Catalog) -> Relation:
+        relation = self.child.evaluate(catalog)
+        if len(self.attributes) != relation.schema.arity:
+            raise SchemaError(
+                f"rename expects {relation.schema.arity} attribute names, "
+                f"got {len(self.attributes)}"
+            )
+        schema = RelationSchema(relation.schema.name, tuple(self.attributes))
+        result = Relation(schema)
+        for row in relation:
+            result.add(row)
+        return result
+
+
+def natural_join(left: AlgebraNode, right: AlgebraNode, catalog: Catalog) -> Relation:
+    """Convenience natural join on attributes sharing the same bare name."""
+    left_relation = left.evaluate(catalog)
+    right_relation = right.evaluate(catalog)
+    left_names = {a.split(".")[-1]: i for i, a in enumerate(left_relation.schema.attributes)}
+    right_names = {a.split(".")[-1]: i for i, a in enumerate(right_relation.schema.attributes)}
+    shared = sorted(set(left_names) & set(right_names))
+    kept_right = [
+        (i, a)
+        for i, a in enumerate(right_relation.schema.attributes)
+        if a.split(".")[-1] not in shared
+    ]
+    attributes = left_relation.schema.attributes + tuple(a for _, a in kept_right)
+    result = Relation(RelationSchema("join", attributes))
+    for left_row in left_relation:
+        for right_row in right_relation:
+            if all(left_row[left_names[s]] == right_row[right_names[s]] for s in shared):
+                result.add(left_row + tuple(right_row[i] for i, _ in kept_right))
+    return result

@@ -1,0 +1,125 @@
+"""Catalog: the collection of relation schemas and instances of a source.
+
+The catalog plays the role of the relational DBMS in the paper's data
+layer.  It owns relation instances, answers point lookups and converts
+between the relational view (rows) and the logical view (ground atoms)
+used by the OBDM machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import SchemaError, UnknownRelationError
+from ..queries.atoms import Atom
+from ..queries.terms import Constant
+from .relation import Relation, RelationSchema, Row
+
+
+class Catalog:
+    """A named collection of relations forming one relational database."""
+
+    def __init__(self, name: str = "source"):
+        self.name = name
+        self._relations: Dict[str, Relation] = {}
+
+    # -- schema management -------------------------------------------------
+
+    def create_relation(self, name: str, attributes: Sequence[str]) -> Relation:
+        """Create and register an empty relation; error if it already exists."""
+        if name in self._relations:
+            raise SchemaError(f"relation {name!r} already exists in catalog {self.name!r}")
+        relation = Relation(RelationSchema(name, tuple(attributes)))
+        self._relations[name] = relation
+        return relation
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation; raises :class:`UnknownRelationError` if absent."""
+        if name not in self._relations:
+            raise UnknownRelationError(f"cannot drop unknown relation {name!r}")
+        del self._relations[name]
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(
+                f"unknown relation {name!r}; catalog contains {sorted(self._relations)}"
+            ) from None
+
+    def relation_names(self) -> List[str]:
+        return sorted(self._relations)
+
+    def schemas(self) -> List[RelationSchema]:
+        return [self._relations[name].schema for name in self.relation_names()]
+
+    # -- data management -------------------------------------------------------
+
+    def insert(self, relation_name: str, row: Sequence) -> None:
+        """Insert a single row into a relation."""
+        self.relation(relation_name).add(row)
+
+    def insert_all(self, relation_name: str, rows: Iterable[Sequence]) -> None:
+        """Insert many rows into a relation."""
+        relation = self.relation(relation_name)
+        for row in rows:
+            relation.add(row)
+
+    def row_count(self) -> int:
+        """Total number of rows across all relations."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    # -- logical view -------------------------------------------------------------
+
+    def to_atoms(self) -> Set[Atom]:
+        """Render the full database as a set of ground atoms ``R(c1,...,cn)``."""
+        atoms: Set[Atom] = set()
+        for name in self.relation_names():
+            for row in self._relations[name]:
+                atoms.add(Atom(name, tuple(Constant(value) for value in row)))
+        return atoms
+
+    @staticmethod
+    def from_atoms(atoms: Iterable[Atom], name: str = "source") -> "Catalog":
+        """Build a catalog from ground atoms, inferring schemas by arity.
+
+        Attribute names are synthesised as ``a1..an``.  Mixed arities for
+        the same predicate raise a :class:`SchemaError`.
+        """
+        catalog = Catalog(name)
+        for atom in sorted(atoms):
+            if not atom.is_ground():
+                raise SchemaError(f"cannot load non-ground atom {atom} into a catalog")
+            if not catalog.has_relation(atom.predicate):
+                attributes = tuple(f"a{i + 1}" for i in range(atom.arity))
+                catalog.create_relation(atom.predicate, attributes)
+            relation = catalog.relation(atom.predicate)
+            if relation.schema.arity != atom.arity:
+                raise SchemaError(
+                    f"atom {atom} has arity {atom.arity} but relation "
+                    f"{atom.predicate!r} has arity {relation.schema.arity}"
+                )
+            relation.add(tuple(argument.value for argument in atom.args))
+        return catalog
+
+    def copy(self) -> "Catalog":
+        duplicate = Catalog(self.name)
+        for name in self.relation_names():
+            original = self._relations[name]
+            duplicate._relations[name] = original.copy()
+        return duplicate
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __iter__(self) -> Iterator[Relation]:
+        for name in self.relation_names():
+            yield self._relations[name]
+
+    def __str__(self):
+        parts = ", ".join(str(relation.schema) for relation in self)
+        return f"Catalog({self.name!r}: {parts})"

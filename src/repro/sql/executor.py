@@ -1,0 +1,68 @@
+"""Query executor: run SQL text or algebra trees against a catalog.
+
+The executor is the entry point the OBDM mapping layer uses to evaluate
+mapping source queries over the source database.  It accepts either SQL
+text, an already-built algebra tree, or a conjunctive query over the
+source schema (the form used in the paper's Example 3.6, e.g.
+``ENR(x, y, z)``), and always returns a list of answer tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import SchemaError
+from ..queries.cq import ConjunctiveQuery
+from ..queries.evaluation import FactIndex, evaluate
+from .algebra import AlgebraNode
+from .catalog import Catalog
+from .relation import Relation, Row
+from .sql_parser import sql_to_algebra
+
+SourceQuery = Union[str, AlgebraNode, ConjunctiveQuery]
+
+
+class Executor:
+    """Evaluates source queries over a :class:`~repro.sql.catalog.Catalog`.
+
+    The executor caches the logical (atom) view of the catalog so that
+    repeated CQ-style source queries do not re-materialise it; the cache
+    is invalidated explicitly with :meth:`invalidate` when the catalog's
+    contents change.
+    """
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self._fact_index: Optional[FactIndex] = None
+
+    def invalidate(self) -> None:
+        """Drop cached state after the underlying catalog was modified."""
+        self._fact_index = None
+
+    def _index(self) -> FactIndex:
+        if self._fact_index is None:
+            self._fact_index = FactIndex(self.catalog.to_atoms())
+        return self._fact_index
+
+    # -- execution ------------------------------------------------------
+
+    def execute(self, query: SourceQuery) -> List[Row]:
+        """Run a source query and return its answer tuples (sorted)."""
+        if isinstance(query, str):
+            return self._execute_algebra(sql_to_algebra(query))
+        if isinstance(query, AlgebraNode):
+            return self._execute_algebra(query)
+        if isinstance(query, ConjunctiveQuery):
+            return self._execute_cq(query)
+        raise SchemaError(f"unsupported source query type: {type(query).__name__}")
+
+    def _execute_algebra(self, node: AlgebraNode) -> List[Row]:
+        relation = node.evaluate(self.catalog)
+        return sorted(relation.rows, key=repr)
+
+    def _execute_cq(self, query: ConjunctiveQuery) -> List[Row]:
+        answers = evaluate(query, (), index=self._index())
+        return sorted(
+            (tuple(constant.value for constant in answer) for answer in answers),
+            key=repr,
+        )

@@ -1,0 +1,135 @@
+"""In-memory relations: named, typed collections of tuples.
+
+The paper's data layer is a plain relational database.  This module
+provides the smallest useful relational abstraction: a
+:class:`RelationSchema` (name + attribute names) and a :class:`Relation`
+(schema + set of rows).  Rows are tuples of Python scalars; duplicate
+rows are collapsed (set semantics), matching the first-order semantics
+used by the OBDM layer where a database is a finite set of atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import SchemaError
+
+Row = Tuple[Union[str, int, float, bool], ...]
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of a single relation: its name and attribute names."""
+
+    name: str
+    attributes: Tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        attributes = tuple(self.attributes)
+        if not attributes:
+            raise SchemaError(f"relation {self.name!r} must have at least one attribute")
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"relation {self.name!r} has duplicate attribute names")
+        object.__setattr__(self, "attributes", attributes)
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def position_of(self, attribute: str) -> int:
+        """Index of *attribute* within the schema; raises if unknown."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}; "
+                f"known attributes: {list(self.attributes)}"
+            ) from None
+
+    def __str__(self):
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+class Relation:
+    """A relation instance: a schema plus a set of rows."""
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Row] = ()):
+        self.schema = schema
+        self._rows: Set[Row] = set()
+        for row in rows:
+            self.add(row)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, row: Sequence) -> None:
+        """Insert a row, checking its arity against the schema."""
+        row = tuple(row)
+        if len(row) != self.schema.arity:
+            raise SchemaError(
+                f"row {row!r} has arity {len(row)}, but {self.schema} expects "
+                f"{self.schema.arity}"
+            )
+        self._rows.add(row)
+
+    def add_all(self, rows: Iterable[Sequence]) -> None:
+        for row in rows:
+            self.add(row)
+
+    def remove(self, row: Sequence) -> None:
+        """Remove a row if present (no error when absent)."""
+        self._rows.discard(tuple(row))
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def rows(self) -> Set[Row]:
+        """A copy of the relation's rows."""
+        return set(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(sorted(self._rows, key=repr))
+
+    def __contains__(self, row: Sequence) -> bool:
+        return tuple(row) in self._rows
+
+    def column(self, attribute: str) -> List:
+        """All values of one attribute (with duplicates, sorted for determinism)."""
+        position = self.schema.position_of(attribute)
+        return sorted((row[position] for row in self._rows), key=repr)
+
+    def project(self, attributes: Sequence[str]) -> "Relation":
+        """Projection onto a subset of attributes (set semantics)."""
+        positions = [self.schema.position_of(a) for a in attributes]
+        schema = RelationSchema(self.schema.name, tuple(attributes))
+        projected = Relation(schema)
+        for row in self._rows:
+            projected.add(tuple(row[p] for p in positions))
+        return projected
+
+    def select(self, predicate) -> "Relation":
+        """Selection by an arbitrary row predicate ``row_dict -> bool``."""
+        selected = Relation(self.schema)
+        for row in self._rows:
+            row_dict = dict(zip(self.schema.attributes, row))
+            if predicate(row_dict):
+                selected.add(row)
+        return selected
+
+    def copy(self) -> "Relation":
+        return Relation(self.schema, self._rows)
+
+    def __str__(self):
+        return f"{self.schema} [{len(self)} rows]"
+
+    def __repr__(self):
+        return f"Relation({self.schema!r}, rows={len(self)})"

@@ -1,0 +1,205 @@
+"""A mini SQL parser for select-project-join source queries.
+
+Mapping assertions in OBDM relate a *source query* over the relational
+schema to an ontology query.  The paper (Section 2) notes that source
+queries are evaluated directly over the source database and may be any
+efficiently computable query; in practice OBDA systems use SQL.  This
+module parses the select-project-join fragment::
+
+    SELECT e.student, e.course
+    FROM enrolment AS e, location AS l
+    WHERE e.university = l.university AND l.city = 'Rome'
+
+into the relational algebra of :mod:`repro.sql.algebra`.  Supported
+features: ``SELECT`` attribute lists (with optional ``table.`` prefixes
+and ``*``), ``FROM`` lists with ``AS`` aliases, and ``WHERE`` with
+``AND``-separated equality conditions between attributes and/or
+constants (quoted strings, numbers, booleans).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from ..errors import QueryParseError
+from .algebra import AlgebraNode, Condition, CrossProduct, Project, Scan, Select
+
+_TOKEN_SPEC = [
+    ("STRING", r"'[^']*'|\"[^\"]*\""),
+    ("NUMBER", r"-?\d+\.\d+|-?\d+"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("EQ", r"="),
+    ("STAR", r"\*"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("WS", r"\s+"),
+    ("MISMATCH", r"."),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "AS", "TRUE", "FALSE"}
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup or "MISMATCH"
+        value = match.group()
+        if kind == "WS":
+            continue
+        if kind == "MISMATCH":
+            raise QueryParseError(f"unexpected character {value!r} at position {match.start()}")
+        if kind == "NAME" and value.upper() in _KEYWORDS:
+            kind = value.upper()
+            value = value.upper()
+        tokens.append(_Token(kind, value, match.start()))
+    return tokens
+
+
+class _SqlParser:
+    def __init__(self, tokens: Sequence[_Token], text: str):
+        self._tokens = list(tokens)
+        self._text = text
+        self._position = 0
+
+    def _peek(self) -> Optional[_Token]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QueryParseError(f"unexpected end of SQL in {self._text!r}")
+        self._position += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise QueryParseError(
+                f"expected {kind} but found {token.value!r} at position {token.position}"
+            )
+        return token
+
+    def _accept(self, kind: str) -> Optional[_Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            return self._next()
+        return None
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse(self) -> "ParsedSelect":
+        self._expect("SELECT")
+        select_list = self._parse_select_list()
+        self._expect("FROM")
+        from_list = self._parse_from_list()
+        conditions: List[Condition] = []
+        if self._accept("WHERE"):
+            conditions = self._parse_conditions()
+        if self._peek() is not None:
+            token = self._peek()
+            raise QueryParseError(
+                f"trailing SQL input starting at {token.value!r} (position {token.position})"
+            )
+        return ParsedSelect(tuple(select_list), tuple(from_list), tuple(conditions))
+
+    def _parse_select_list(self) -> List[str]:
+        if self._accept("STAR"):
+            return ["*"]
+        items = [self._parse_attribute_reference()]
+        while self._accept("COMMA"):
+            items.append(self._parse_attribute_reference())
+        return items
+
+    def _parse_attribute_reference(self) -> str:
+        first = self._expect("NAME").value
+        if self._accept("DOT"):
+            second = self._expect("NAME").value
+            return f"{first}.{second}"
+        return first
+
+    def _parse_from_list(self) -> List[Tuple[str, str]]:
+        items = [self._parse_from_item()]
+        while self._accept("COMMA"):
+            items.append(self._parse_from_item())
+        return items
+
+    def _parse_from_item(self) -> Tuple[str, str]:
+        relation = self._expect("NAME").value
+        alias = relation
+        if self._accept("AS"):
+            alias = self._expect("NAME").value
+        else:
+            token = self._peek()
+            if token is not None and token.kind == "NAME":
+                alias = self._next().value
+        return relation, alias
+
+    def _parse_conditions(self) -> List[Condition]:
+        conditions = [self._parse_condition()]
+        while self._accept("AND"):
+            conditions.append(self._parse_condition())
+        return conditions
+
+    def _parse_condition(self) -> Condition:
+        left_value, left_is_attribute = self._parse_operand()
+        self._expect("EQ")
+        right_value, right_is_attribute = self._parse_operand()
+        return Condition(left_value, right_value, left_is_attribute, right_is_attribute)
+
+    def _parse_operand(self) -> Tuple[Union[str, int, float, bool], bool]:
+        token = self._next()
+        if token.kind == "STRING":
+            return token.value[1:-1], False
+        if token.kind == "NUMBER":
+            return (float(token.value) if "." in token.value else int(token.value)), False
+        if token.kind in ("TRUE", "FALSE"):
+            return token.kind == "TRUE", False
+        if token.kind == "NAME":
+            name = token.value
+            if self._accept("DOT"):
+                name = f"{name}.{self._expect('NAME').value}"
+            return name, True
+        raise QueryParseError(
+            f"expected attribute or constant, found {token.value!r} at position {token.position}"
+        )
+
+
+class ParsedSelect(NamedTuple):
+    """Structured form of a parsed SELECT statement."""
+
+    select_list: Tuple[str, ...]
+    from_list: Tuple[Tuple[str, str], ...]
+    conditions: Tuple[Condition, ...]
+
+    def to_algebra(self) -> AlgebraNode:
+        """Lower the parsed statement into a relational algebra tree."""
+        node: AlgebraNode = Scan(self.from_list[0][0], self.from_list[0][1])
+        for relation, alias in self.from_list[1:]:
+            node = CrossProduct(node, Scan(relation, alias))
+        if self.conditions:
+            node = Select(node, tuple(self.conditions))
+        if self.select_list != ("*",):
+            node = Project(node, tuple(self.select_list))
+        return node
+
+
+def parse_sql(text: str) -> ParsedSelect:
+    """Parse a SELECT statement into a :class:`ParsedSelect`."""
+    parser = _SqlParser(_tokenize(text), text)
+    return parser.parse()
+
+
+def sql_to_algebra(text: str) -> AlgebraNode:
+    """Parse a SELECT statement and lower it to relational algebra."""
+    return parse_sql(text).to_algebra()

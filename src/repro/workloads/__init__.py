@@ -1,0 +1,21 @@
+"""Deterministic synthetic workload generators for the benchmark harness."""
+
+from .compas_gen import CompasWorkloadConfig, generate_compas_workload
+from .generator import SeededGenerator, Workload, banded
+from .loans_gen import LoanWorkloadConfig, generate_loan_workload
+from .movies_gen import MovieWorkloadConfig, generate_movie_workload
+from .university_gen import UniversityWorkloadConfig, generate_university_workload
+
+__all__ = [
+    "CompasWorkloadConfig",
+    "LoanWorkloadConfig",
+    "MovieWorkloadConfig",
+    "SeededGenerator",
+    "UniversityWorkloadConfig",
+    "Workload",
+    "banded",
+    "generate_compas_workload",
+    "generate_loan_workload",
+    "generate_movie_workload",
+    "generate_university_workload",
+]

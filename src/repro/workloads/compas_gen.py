@@ -1,0 +1,114 @@
+"""Synthetic recidivism-risk workload (COMPAS-like).
+
+Persons have an age band, a priors band and a sensitive group
+attribute; charges have a degree.  The generator can produce either an
+*unbiased* labelling (risk depends only on priors and charge degree) or
+a *biased* one (risk additionally depends on the sensitive group),
+controlled by :attr:`CompasWorkloadConfig.bias_strength`.  The bias-
+audit example and benchmark E8 compare the explanations discovered in
+the two regimes: with bias injected, the best-describing query starts
+mentioning ``belongsToGroup(x, 'B')``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..ml.dataset import TabularDataset
+from ..obdm.database import SourceDatabase
+from ..ontologies.compas import build_compas_schema
+from .generator import SeededGenerator, Workload, banded
+
+AGE_BANDS = (("young", 25.0), ("adult", 50.0), ("senior", float("inf")))
+PRIORS_BANDS = (("none", 0.0), ("few", 3.0), ("many", float("inf")))
+GROUPS = ("A", "B")
+DEGREES = ("felony", "misdemeanor")
+
+
+@dataclass(frozen=True)
+class CompasWorkloadConfig:
+    """Parameters of the recidivism workload generator."""
+
+    persons: int = 200
+    seed: int = 11
+    bias_strength: float = 0.0
+    """0 = labels ignore the group; 1 = group-B membership strongly raises risk."""
+
+    label_noise: float = 0.02
+
+
+def generate_compas_workload(config: CompasWorkloadConfig = CompasWorkloadConfig()) -> Workload:
+    """Generate the synthetic recidivism workload."""
+    generator = SeededGenerator(config.seed)
+    schema = build_compas_schema()
+    database = SourceDatabase(schema, name=f"compas_D_{config.persons}")
+    records: List[Dict[str, object]] = []
+
+    for index in range(config.persons):
+        person = f"DEF{index:04d}"
+        charge = f"CH{index:04d}"
+        age = generator.uniform(18, 70)
+        priors = max(0, int(round(generator.normal(2.0, 2.5))))
+        group = generator.choice(GROUPS, probabilities=(0.55, 0.45))
+        degree = generator.choice(DEGREES, probabilities=(0.4, 0.6))
+
+        age_band = banded(age, AGE_BANDS)
+        priors_band = banded(float(priors), PRIORS_BANDS)
+
+        database.add("PERSON", person, age_band, group, priors_band)
+        database.add("CHARGE", charge, person, degree)
+        if generator.boolean(0.3):
+            database.add("SUPERVISION", person, f"OFF{generator.integer(0, 9):02d}")
+
+        # Ground-truth risk: many priors, or a felony charge with some priors.
+        risk_score = 0.0
+        if priors_band == "many":
+            risk_score += 0.8
+        elif priors_band == "few":
+            risk_score += 0.35
+        if degree == "felony":
+            risk_score += 0.35
+        if age_band == "young":
+            risk_score += 0.15
+        # Injected bias: group B raises the score regardless of behaviour.
+        # At full strength the increment alone crosses the decision threshold,
+        # so every group-B defendant is labelled high risk.
+        if group == "B":
+            risk_score += 0.75 * config.bias_strength
+        high_risk = risk_score >= 0.7
+        if generator.boolean(config.label_noise):
+            high_risk = not high_risk
+
+        records.append(
+            {
+                "id": person,
+                "age": round(age, 1),
+                "priors": float(priors),
+                "is_felony": 1.0 if degree == "felony" else 0.0,
+                "group_code": float(GROUPS.index(group)),
+                "label": 1 if high_risk else -1,
+            }
+        )
+
+    dataset = TabularDataset.from_records(
+        records,
+        key_column="id",
+        label_column="label",
+        feature_columns=("age", "priors", "is_felony", "group_code"),
+        name=f"compas_dataset_{config.persons}",
+    )
+    return Workload(
+        name="compas",
+        database=database,
+        dataset=dataset,
+        ground_truth=(
+            "high risk iff many priors, or felony with some priors, or young with both; "
+            f"group bias strength = {config.bias_strength}"
+        ),
+        parameters={
+            "persons": config.persons,
+            "seed": config.seed,
+            "bias_strength": config.bias_strength,
+        },
+    )

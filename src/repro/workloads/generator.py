@@ -1,0 +1,79 @@
+"""Shared infrastructure of the synthetic workload generators.
+
+The paper defers evaluation on real-world data to future work; the
+benchmarks here therefore run on deterministic synthetic workloads.
+Every generator returns a :class:`Workload`: the relational source
+database (for the OBDM side) plus, when meaningful, a tabular dataset
+(for the classifier side) and a description of the ground-truth rule
+that generated the labels — so fidelity experiments can compare the
+discovered explanation against a known target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ml.dataset import TabularDataset
+from ..obdm.database import SourceDatabase
+
+
+@dataclass
+class Workload:
+    """The output of one synthetic workload generator."""
+
+    name: str
+    database: SourceDatabase
+    dataset: Optional[TabularDataset] = None
+    ground_truth: str = ""
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self):
+        dataset = f", dataset={len(self.dataset)} rows" if self.dataset is not None else ""
+        return f"Workload({self.name!r}: |D|={len(self.database)} facts{dataset})"
+
+
+class SeededGenerator:
+    """Small wrapper around :class:`numpy.random.Generator` with helpers.
+
+    Every workload generator owns one of these, seeded explicitly, so
+    that workloads — and therefore every benchmark number — are exactly
+    reproducible across runs and machines.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    def choice(self, options: Sequence, probabilities: Optional[Sequence[float]] = None):
+        """Pick one option (optionally with the given probabilities)."""
+        index = self.rng.choice(len(options), p=probabilities)
+        return options[int(index)]
+
+    def uniform(self, low: float, high: float) -> float:
+        return float(self.rng.uniform(low, high))
+
+    def normal(self, mean: float, std: float) -> float:
+        return float(self.rng.normal(mean, std))
+
+    def integer(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high]`` (inclusive)."""
+        return int(self.rng.integers(low, high + 1))
+
+    def boolean(self, probability_true: float = 0.5) -> bool:
+        return bool(self.rng.random() < probability_true)
+
+
+def banded(value: float, bands: Sequence[Tuple[str, float]]) -> str:
+    """Map a numeric value onto a named band.
+
+    *bands* is a list of ``(name, upper_bound)`` pairs ordered by bound;
+    the first band whose bound is >= value wins, and the last band is
+    used as the catch-all.
+    """
+    for name, upper in bands:
+        if value <= upper:
+            return name
+    return bands[-1][0]

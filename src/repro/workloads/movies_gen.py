@@ -1,0 +1,104 @@
+"""Synthetic movie-recommendation workload.
+
+Movies are connected to directors (some awarded) and to viewers (some
+critics) through ratings.  The classified objects are the movies; the
+ground-truth label marks a movie "promoted" when it is a drama liked by
+at least one critic, or directed by an awarded director — a rule whose
+natural ontology-level explanation needs role atoms and a radius of at
+least 1 (and benefits from radius 2, which benchmark E7 exercises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..ml.dataset import TabularDataset
+from ..obdm.database import SourceDatabase
+from ..ontologies.movies import build_movie_schema
+from .generator import SeededGenerator, Workload
+
+GENRES = ("drama", "comedy", "thriller")
+DECADES = ("classic", "recent")
+RATING_BANDS = ("low", "medium", "high")
+
+
+@dataclass(frozen=True)
+class MovieWorkloadConfig:
+    """Parameters of the movie workload generator."""
+
+    movies: int = 80
+    directors: int = 15
+    viewers: int = 30
+    critics: int = 6
+    ratings_per_movie: int = 3
+    seed: int = 3
+    label_noise: float = 0.0
+
+
+def generate_movie_workload(config: MovieWorkloadConfig = MovieWorkloadConfig()) -> Workload:
+    """Generate the movie workload."""
+    generator = SeededGenerator(config.seed)
+    schema = build_movie_schema()
+    database = SourceDatabase(schema, name=f"movie_D_{config.movies}")
+    records: List[Dict[str, object]] = []
+
+    directors = [f"DIR{i:03d}" for i in range(config.directors)]
+    awarded = set()
+    for director in directors:
+        if generator.boolean(0.3):
+            awarded.add(director)
+            database.add("AWARDED", director)
+
+    viewers = [f"USR{i:03d}" for i in range(config.viewers)]
+    critics = set(viewers[: config.critics])
+    for critic in critics:
+        database.add("CRITIC", critic)
+
+    for index in range(config.movies):
+        movie = f"MOV{index:04d}"
+        genre = generator.choice(GENRES, probabilities=(0.4, 0.35, 0.25))
+        decade = generator.choice(DECADES, probabilities=(0.35, 0.65))
+        director = generator.choice(directors)
+        database.add("MOVIE", movie, genre, decade)
+        database.add("DIRECTED", director, movie)
+
+        liked_by_critic = False
+        high_ratings = 0
+        for _ in range(config.ratings_per_movie):
+            viewer = generator.choice(viewers)
+            band = generator.choice(RATING_BANDS, probabilities=(0.25, 0.4, 0.35))
+            database.add("RATED", viewer, movie, band)
+            if band == "high":
+                high_ratings += 1
+                if viewer in critics:
+                    liked_by_critic = True
+
+        promoted = (genre == "drama" and liked_by_critic) or director in awarded
+        if generator.boolean(config.label_noise):
+            promoted = not promoted
+        records.append(
+            {
+                "id": movie,
+                "genre_code": float(GENRES.index(genre)),
+                "is_recent": 1.0 if decade == "recent" else 0.0,
+                "high_ratings": float(high_ratings),
+                "director_awarded": 1.0 if director in awarded else 0.0,
+                "label": 1 if promoted else -1,
+            }
+        )
+
+    dataset = TabularDataset.from_records(
+        records,
+        key_column="id",
+        label_column="label",
+        feature_columns=("genre_code", "is_recent", "high_ratings", "director_awarded"),
+        name=f"movie_dataset_{config.movies}",
+    )
+    return Workload(
+        name="movies",
+        database=database,
+        dataset=dataset,
+        ground_truth="promoted iff (drama liked by a critic) or (directed by an awarded director)",
+        parameters={"movies": config.movies, "seed": config.seed},
+    )

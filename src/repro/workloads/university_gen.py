@@ -1,0 +1,83 @@
+"""Scaled-up university workload.
+
+The paper's Example 3.6 has five students; the scalability benchmark
+(E7) needs the same structure at arbitrary sizes.  This generator
+produces ``students`` students enrolled in subjects taught at
+universities located in cities, with a labelling that follows the
+"studies something taught in Rome" pattern of the example's query q1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..obdm.database import SourceDatabase
+from ..ontologies.university import build_university_schema
+from .generator import SeededGenerator, Workload
+
+SUBJECTS = ("Math", "Science", "History", "Law", "Medicine", "Engineering")
+UNIVERSITIES = ("Sap", "TV", "Pol", "Norm", "Bocconi", "Fed2", "Unibo", "Unipd")
+CITIES = {
+    "Sap": "Rome",
+    "TV": "Rome",
+    "Pol": "Milan",
+    "Norm": "Pisa",
+    "Bocconi": "Milan",
+    "Fed2": "Naples",
+    "Unibo": "Bologna",
+    "Unipd": "Padua",
+}
+
+
+@dataclass(frozen=True)
+class UniversityWorkloadConfig:
+    """Parameters of the scaled university workload."""
+
+    students: int = 100
+    enrolments_per_student: int = 1
+    seed: int = 13
+    label_noise: float = 0.0
+
+
+def generate_university_workload(
+    config: UniversityWorkloadConfig = UniversityWorkloadConfig(),
+) -> Workload:
+    """Generate a university workload of the requested size."""
+    generator = SeededGenerator(config.seed)
+    schema = build_university_schema()
+    database = SourceDatabase(schema, name=f"university_D_{config.students}")
+
+    for university, city in CITIES.items():
+        database.add("LOC", university, city)
+
+    positives: List[str] = []
+    negatives: List[str] = []
+    for index in range(config.students):
+        student = f"S{index:05d}"
+        database.add("STUD", student)
+        studies_in_rome = False
+        for _ in range(max(1, config.enrolments_per_student)):
+            subject = generator.choice(SUBJECTS)
+            university = generator.choice(UNIVERSITIES)
+            database.add("ENR", student, subject, university)
+            if CITIES[university] == "Rome":
+                studies_in_rome = True
+        label_positive = studies_in_rome
+        if generator.boolean(config.label_noise):
+            label_positive = not label_positive
+        (positives if label_positive else negatives).append(student)
+
+    return Workload(
+        name="university",
+        database=database,
+        dataset=None,
+        ground_truth="positive iff enrolled in a subject taught at a university located in Rome",
+        parameters={
+            "students": config.students,
+            "enrolments_per_student": config.enrolments_per_student,
+            "seed": config.seed,
+            "positives": positives,
+            "negatives": negatives,
+        },
+    )

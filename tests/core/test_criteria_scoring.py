@@ -1,0 +1,147 @@
+"""Unit tests for criteria δ1-δ6 and scoring expressions Z (Example 3.8)."""
+
+import pytest
+
+from repro.core.criteria import (
+    ACCURACY,
+    DEFAULT_REGISTRY,
+    DELTA_1,
+    DELTA_2,
+    DELTA_3,
+    DELTA_4,
+    DELTA_5,
+    DELTA_6,
+    PAPER_CRITERIA,
+    Criterion,
+    CriteriaRegistry,
+    EvaluationContext,
+    evaluate_criteria,
+)
+from repro.core.scoring import (
+    CallableExpression,
+    HarmonicMean,
+    MinScore,
+    WeightedAverage,
+    WeightedProduct,
+    balanced_expression,
+    example_3_8_expression,
+    fidelity_first_expression,
+)
+from repro.errors import CriterionError, ScoringError
+from repro.queries.parser import parse_cq, parse_ucq
+
+
+@pytest.fixture()
+def contexts(university_evaluator, university_labeling, university_queries):
+    """EvaluationContexts for q1, q2, q3 of the running example."""
+    built = {}
+    for name, query in university_queries.items():
+        profile = university_evaluator.profile(query, university_labeling)
+        built[name] = EvaluationContext(query, profile, university_labeling, 1)
+    return built
+
+
+class TestPaperCriteria:
+    def test_delta1_values(self, contexts):
+        assert DELTA_1.evaluate(contexts["q1"]) == pytest.approx(3 / 4)
+        assert DELTA_1.evaluate(contexts["q2"]) == pytest.approx(2 / 4)
+        assert DELTA_1.evaluate(contexts["q3"]) == pytest.approx(2 / 4)
+
+    def test_delta4_values(self, contexts):
+        assert DELTA_4.evaluate(contexts["q1"]) == pytest.approx(1.0)
+        assert DELTA_4.evaluate(contexts["q2"]) == pytest.approx(0.0)
+        assert DELTA_4.evaluate(contexts["q3"]) == pytest.approx(1.0)
+
+    def test_delta5_values(self, contexts):
+        assert DELTA_5.evaluate(contexts["q1"]) == pytest.approx(1 / 3)
+        assert DELTA_5.evaluate(contexts["q2"]) == pytest.approx(1.0)
+        assert DELTA_5.evaluate(contexts["q3"]) == pytest.approx(1.0)
+
+    def test_delta2_equals_delta1_under_default_normalisation(self, contexts):
+        for context in contexts.values():
+            assert DELTA_2.evaluate(context) == pytest.approx(DELTA_1.evaluate(context))
+
+    def test_delta3_equals_delta4_under_default_normalisation(self, contexts):
+        for context in contexts.values():
+            assert DELTA_3.evaluate(context) == pytest.approx(DELTA_4.evaluate(context))
+
+    def test_delta6_on_cq_and_ucq(self, contexts, university_labeling, university_evaluator):
+        assert DELTA_6.evaluate(contexts["q1"]) == 1.0
+        ucq = parse_ucq("q(x) :- studies(x, 'Math')\nq(x) :- likes(x, 'Science')")
+        profile = university_evaluator.profile(ucq, university_labeling)
+        context = EvaluationContext(ucq, profile, university_labeling, 1)
+        assert DELTA_6.evaluate(context) == pytest.approx(0.5)
+
+    def test_evaluate_criteria_bundle(self, contexts):
+        values = evaluate_criteria(PAPER_CRITERIA, contexts["q1"])
+        assert set(values) == {c.key for c in PAPER_CRITERIA}
+
+    def test_out_of_range_criterion_rejected(self, contexts):
+        bad = Criterion("bad", "returns 2", lambda context: 2.0)
+        with pytest.raises(CriterionError):
+            bad.evaluate(contexts["q1"])
+
+
+class TestRegistry:
+    def test_default_registry_contains_paper_criteria(self):
+        for criterion in PAPER_CRITERIA:
+            assert criterion.key in DEFAULT_REGISTRY
+
+    def test_resolve_mixed(self):
+        resolved = DEFAULT_REGISTRY.resolve(["delta1", DELTA_4])
+        assert [c.key for c in resolved] == ["delta1", "delta4"]
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(CriterionError):
+            DEFAULT_REGISTRY.get("nonexistent")
+
+    def test_register_function(self):
+        registry = CriteriaRegistry()
+        registry.register_function("const", "always one", lambda context: 1.0)
+        assert "const" in registry
+
+    def test_conflicting_registration_rejected(self):
+        registry = CriteriaRegistry()
+        with pytest.raises(CriterionError):
+            registry.register(Criterion("delta1", "different", lambda context: 0.0))
+
+
+class TestScoringExpressions:
+    VALUES = {"delta1": 0.75, "delta4": 1.0, "delta5": 1 / 3}
+
+    def test_example_3_8_weighted_average(self):
+        expression = example_3_8_expression(1, 1, 1)
+        assert expression.score(self.VALUES) == pytest.approx((0.75 + 1.0 + 1 / 3) / 3)
+
+    def test_weighted_average_weights(self):
+        expression = example_3_8_expression(3, 1, 1)
+        expected = (3 * 0.75 + 1.0 + 1 / 3) / 5
+        assert expression.score(self.VALUES) == pytest.approx(expected)
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(ScoringError):
+            example_3_8_expression().score({"delta1": 1.0})
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ScoringError):
+            WeightedAverage.of({})
+        with pytest.raises(ScoringError):
+            WeightedAverage.of({"delta1": -1.0, "delta4": 1.0, "delta5": 0.0})
+
+    def test_weighted_product(self):
+        expression = WeightedProduct.of({"delta1": 1.0, "delta4": 1.0})
+        assert expression.score({"delta1": 0.5, "delta4": 0.5}) == pytest.approx(0.25)
+
+    def test_min_and_harmonic(self):
+        assert MinScore(("delta1", "delta4")).score({"delta1": 0.2, "delta4": 0.9}) == 0.2
+        harmonic = HarmonicMean(("delta1", "delta4")).score({"delta1": 0.5, "delta4": 1.0})
+        assert harmonic == pytest.approx(2 / 3)
+        assert HarmonicMean(("delta1",)).score({"delta1": 0.0}) == 0.0
+
+    def test_callable_expression(self):
+        expression = CallableExpression(("delta1",), lambda values: values["delta1"] ** 2)
+        assert expression.score({"delta1": 0.5}) == pytest.approx(0.25)
+
+    def test_ready_made_expressions(self):
+        assert set(balanced_expression().variables()) == {"delta1", "delta4"}
+        assert "delta5" in fidelity_first_expression().variables()

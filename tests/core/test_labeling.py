@@ -1,0 +1,89 @@
+"""Unit tests for classifier labelings λ."""
+
+import pytest
+
+from repro.core.labeling import NEGATIVE, POSITIVE, Labeling, normalize_tuple
+from repro.errors import ExplanationError
+from repro.queries.terms import Constant
+
+
+class TestNormalizeTuple:
+    def test_scalar_becomes_unary_tuple(self):
+        assert normalize_tuple("A10") == (Constant("A10"),)
+
+    def test_sequence_preserved(self):
+        assert normalize_tuple(["A10", "Math"]) == (Constant("A10"), Constant("Math"))
+
+    def test_constants_pass_through(self):
+        assert normalize_tuple(Constant("A10")) == (Constant("A10"),)
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(ExplanationError):
+            normalize_tuple([])
+
+
+class TestLabeling:
+    def test_paper_example(self, university_labeling):
+        assert len(university_labeling.positives) == 4
+        assert len(university_labeling.negatives) == 1
+        assert university_labeling.arity == 1
+
+    def test_label_of(self, university_labeling):
+        assert university_labeling.label_of("A10") == POSITIVE
+        assert university_labeling("E25") == NEGATIVE
+        assert university_labeling("Z99") is None  # partial function
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ExplanationError):
+            Labeling(["A10"], ["A10"])
+
+    def test_mixed_arities_rejected(self):
+        with pytest.raises(ExplanationError):
+            Labeling([("a", "b")], ["c"])
+
+    def test_from_dict(self):
+        labeling = Labeling.from_dict({"a": 1, "b": -1})
+        assert labeling.label_of("a") == POSITIVE
+        assert labeling.label_of("b") == NEGATIVE
+
+    def test_from_dict_invalid_label(self):
+        with pytest.raises(ExplanationError):
+            Labeling.from_dict({"a": 2})
+
+    def test_from_predictions(self):
+        labeling = Labeling.from_predictions(["a", "b", "c"], [1, -1, 1])
+        assert len(labeling.positives) == 2
+
+    def test_from_predictions_length_mismatch(self):
+        with pytest.raises(ExplanationError):
+            Labeling.from_predictions(["a"], [1, -1])
+
+    def test_add_positive_and_negative(self):
+        labeling = Labeling()
+        labeling.add_positive("a")
+        labeling.add_negative("b")
+        assert len(labeling) == 2
+        with pytest.raises(ExplanationError):
+            labeling.add_negative("a")
+
+    def test_inverted(self, university_labeling):
+        inverted = university_labeling.inverted()
+        assert inverted.label_of("E25") == POSITIVE
+        assert inverted.label_of("A10") == NEGATIVE
+
+    def test_iteration_is_deterministic(self, university_labeling):
+        assert list(university_labeling) == list(university_labeling)
+
+    def test_validate_against_database(self, university_system, university_labeling):
+        assert university_labeling.validate_against(university_system.database) == []
+        stranger = Labeling(["Z99"], [])
+        assert stranger.validate_against(university_system.database)
+
+    def test_restricted_to_domain(self, university_system):
+        labeling = Labeling(["A10", "Z99"], ["E25"])
+        restricted = labeling.restricted_to_domain(university_system.database)
+        assert len(restricted.positives) == 1
+        assert len(restricted.negatives) == 1
+
+    def test_tuples_union(self, university_labeling):
+        assert len(university_labeling.tuples()) == 5

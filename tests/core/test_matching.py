@@ -1,0 +1,149 @@
+"""Unit tests for J-matching (Definition 3.4) and match profiles."""
+
+import pytest
+
+from repro.core.matching import MatchEvaluator, MatchProfile
+from repro.errors import ExplanationError
+from repro.queries.parser import parse_cq, parse_ucq
+from repro.queries.terms import Constant
+
+
+def key(value):
+    return (Constant(value),)
+
+
+class TestExample36Matching:
+    """Definition 3.4 applied to the paper's queries and borders."""
+
+    def test_q1_matches(self, university_evaluator, university_queries):
+        q1 = university_queries["q1"]
+        assert university_evaluator.matches(q1, "A10")
+        assert university_evaluator.matches(q1, "B80")
+        assert university_evaluator.matches(q1, "D50")
+        assert not university_evaluator.matches(q1, "C12")
+        assert not university_evaluator.matches(q1, "E25")
+
+    def test_q2_matches(self, university_evaluator, university_queries):
+        q2 = university_queries["q2"]
+        assert university_evaluator.matches(q2, "A10")
+        assert university_evaluator.matches(q2, "B80")
+        assert university_evaluator.matches(q2, "E25")
+        assert not university_evaluator.matches(q2, "C12")
+        assert not university_evaluator.matches(q2, "D50")
+
+    def test_q3_matches_via_ontology(self, university_evaluator, university_queries):
+        q3 = university_queries["q3"]
+        assert university_evaluator.matches(q3, "C12")
+        assert university_evaluator.matches(q3, "D50")
+        assert not university_evaluator.matches(q3, "A10")
+        assert not university_evaluator.matches(q3, "E25")
+
+    def test_match_set(self, university_evaluator, university_labeling, university_queries):
+        matched = university_evaluator.match_set(
+            university_queries["q1"], university_labeling.positives
+        )
+        assert matched == {key("A10"), key("B80"), key("D50")}
+
+    def test_profile_counts(self, university_evaluator, university_labeling, university_queries):
+        profile = university_evaluator.profile(university_queries["q1"], university_labeling)
+        assert profile.true_positives == 3
+        assert profile.false_negatives == 1
+        assert profile.false_positives == 0
+        assert profile.true_negatives == 1
+
+    def test_profile_fractions_match_paper(self, university_evaluator, university_labeling, university_queries):
+        q1 = university_evaluator.profile(university_queries["q1"], university_labeling)
+        q2 = university_evaluator.profile(university_queries["q2"], university_labeling)
+        q3 = university_evaluator.profile(university_queries["q3"], university_labeling)
+        assert q1.positive_coverage() == pytest.approx(3 / 4)
+        assert q1.negative_exclusion() == pytest.approx(1.0)
+        assert q2.positive_coverage() == pytest.approx(2 / 4)
+        assert q2.negative_exclusion() == pytest.approx(0.0)
+        assert q3.positive_coverage() == pytest.approx(2 / 4)
+        assert q3.negative_exclusion() == pytest.approx(1.0)
+
+
+class TestMatchingMechanics:
+    def test_arity_mismatch_is_false(self, university_evaluator):
+        binary = parse_cq("q(x, y) :- studies(x, y)")
+        assert not university_evaluator.matches(binary, "A10")
+
+    def test_ucq_matching(self, university_evaluator):
+        ucq = parse_ucq("q(x) :- studies(x, 'Math')\nq(x) :- likes(x, 'Science')")
+        assert university_evaluator.matches(ucq, "A10")
+        assert university_evaluator.matches(ucq, "C12")
+
+    def test_radius_zero_has_no_location_atom(self, university_evaluator, university_queries):
+        # At radius 0 the border of A10 lacks LOC(TV, Rome), so q1 cannot match.
+        assert not university_evaluator.matches(university_queries["q1"], "A10", radius=0)
+        assert university_evaluator.matches(university_queries["q1"], "A10", radius=1)
+
+    def test_negative_radius_rejected(self, university_system):
+        with pytest.raises(ExplanationError):
+            MatchEvaluator(university_system, radius=-1)
+
+    def test_matches_border_object(self, university_evaluator, university_queries):
+        border = university_evaluator.border_of("A10")
+        assert university_evaluator.matches_border(university_queries["q2"], border)
+
+
+class TestProposition35:
+    """Proposition 3.5: matching is monotone in the radius."""
+
+    @pytest.mark.parametrize("query_name", ["q1", "q2", "q3"])
+    @pytest.mark.parametrize("student", ["A10", "B80", "C12", "D50", "E25"])
+    def test_monotone_for_all_pairs(
+        self, university_evaluator, university_queries, query_name, student
+    ):
+        assert university_evaluator.is_monotone_in_radius(
+            university_queries[query_name], student, max_radius=3
+        )
+
+    def test_monotone_explicit_sequence(self, university_evaluator, university_queries):
+        q1 = university_queries["q1"]
+        results = [university_evaluator.matches(q1, "A10", radius=r) for r in range(4)]
+        # Once True, stays True.
+        first_true = results.index(True)
+        assert all(results[first_true:])
+
+
+class TestMatchProfileMetrics:
+    def build(self):
+        return MatchProfile(
+            positives_matched=frozenset({key("a"), key("b")}),
+            positives_unmatched=frozenset({key("c")}),
+            negatives_matched=frozenset({key("d")}),
+            negatives_unmatched=frozenset({key("e"), key("f")}),
+        )
+
+    def test_counts(self):
+        profile = self.build()
+        assert profile.positive_total == 3
+        assert profile.negative_total == 3
+
+    def test_precision_recall_f1_accuracy(self):
+        profile = self.build()
+        assert profile.precision() == pytest.approx(2 / 3)
+        assert profile.recall() == pytest.approx(2 / 3)
+        assert profile.f1() == pytest.approx(2 / 3)
+        assert profile.accuracy() == pytest.approx(4 / 6)
+
+    def test_perfect_separation_flag(self):
+        perfect = MatchProfile(
+            positives_matched=frozenset({key("a")}),
+            positives_unmatched=frozenset(),
+            negatives_matched=frozenset(),
+            negatives_unmatched=frozenset({key("b")}),
+        )
+        assert perfect.is_perfect_separation()
+        assert not self.build().is_perfect_separation()
+
+    def test_empty_negative_set_conventions(self):
+        profile = MatchProfile(
+            positives_matched=frozenset({key("a")}),
+            positives_unmatched=frozenset(),
+            negatives_matched=frozenset(),
+            negatives_unmatched=frozenset(),
+        )
+        assert profile.negative_exclusion() == 1.0
+        assert profile.positive_coverage() == 1.0

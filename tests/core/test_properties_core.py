@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) for the explanation framework.
+
+Invariants exercised on randomly generated university-style databases
+and labelings:
+
+* borders are monotone in the radius (B_{t,r} ⊆ B_{t,r+1});
+* J-matching is monotone in the radius (Proposition 3.5);
+* adding facts to the database never shrinks a border;
+* match profiles partition the labeling, and the criteria values always
+  lie in [0, 1];
+* the weighted-average Z-score is bounded by the smallest and largest
+  criterion value.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.border import BorderComputer
+from repro.core.criteria import DELTA_1, DELTA_4, DELTA_5, EvaluationContext, evaluate_criteria
+from repro.core.labeling import Labeling
+from repro.core.matching import MatchEvaluator
+from repro.core.scoring import example_3_8_expression
+from repro.obdm.database import SourceDatabase
+from repro.obdm.system import OBDMSystem
+from repro.ontologies.university import build_university_specification, example_queries
+from repro.queries.atoms import Atom
+
+STUDENTS = [f"S{i}" for i in range(8)]
+SUBJECTS = ["Math", "Science", "Law"]
+UNIVERSITIES = ["Sap", "TV", "Pol", "Norm"]
+CITIES = ["Rome", "Milan", "Pisa"]
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def university_databases(draw):
+    """Random databases over the university schema (non-strict)."""
+    database = SourceDatabase(strict=False, name="random_university")
+    enrolment_count = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(enrolment_count):
+        student = draw(st.sampled_from(STUDENTS))
+        subject = draw(st.sampled_from(SUBJECTS))
+        university = draw(st.sampled_from(UNIVERSITIES))
+        database.add("STUD", student)
+        database.add("ENR", student, subject, university)
+    location_count = draw(st.integers(min_value=0, max_value=4))
+    for _ in range(location_count):
+        database.add("LOC", draw(st.sampled_from(UNIVERSITIES)), draw(st.sampled_from(CITIES)))
+    return database
+
+
+@st.composite
+def labelings(draw, database):
+    students = sorted({f.args[0].value for f in database.facts_with_predicate("STUD")})
+    if len(students) < 2:
+        positives, negatives = students[:1], []
+    else:
+        split = draw(st.integers(min_value=1, max_value=len(students) - 1))
+        positives, negatives = students[:split], students[split:]
+    return Labeling(positives, negatives, name="random_lambda")
+
+
+@SETTINGS
+@given(st.data())
+def test_borders_monotone_in_radius(data):
+    database = data.draw(university_databases())
+    computer = BorderComputer(database)
+    student = data.draw(st.sampled_from(STUDENTS))
+    previous = frozenset()
+    for radius in range(4):
+        current = computer.border(student, radius).atoms
+        assert previous <= current
+        previous = current
+
+
+@SETTINGS
+@given(st.data())
+def test_borders_monotone_in_database(data):
+    database = data.draw(university_databases())
+    computer = BorderComputer(database)
+    student = data.draw(st.sampled_from(STUDENTS))
+    small_border = computer.border(student, 2).atoms
+
+    extended = database.copy()
+    extended.add("ENR", student, "History", "Sap")
+    extended_computer = BorderComputer(extended)
+    large_border = extended_computer.border(student, 2).atoms
+    assert small_border <= large_border
+
+
+@SETTINGS
+@given(st.data())
+def test_proposition_3_5_on_random_databases(data):
+    database = data.draw(university_databases())
+    system = OBDMSystem(build_university_specification(), database)
+    evaluator = MatchEvaluator(system, radius=0)
+    query_name = data.draw(st.sampled_from(["q1", "q2", "q3"]))
+    student = data.draw(st.sampled_from(STUDENTS))
+    query = example_queries()[query_name]
+    assert evaluator.is_monotone_in_radius(query, student, max_radius=3)
+
+
+@SETTINGS
+@given(st.data())
+def test_profile_partitions_labeling_and_criteria_bounded(data):
+    database = data.draw(university_databases())
+    labeling = data.draw(labelings(database))
+    system = OBDMSystem(build_university_specification(), database)
+    evaluator = MatchEvaluator(system, radius=1)
+    query_name = data.draw(st.sampled_from(["q1", "q2", "q3"]))
+    query = example_queries()[query_name]
+
+    profile = evaluator.profile(query, labeling)
+    assert profile.positives_matched | profile.positives_unmatched == labeling.positives
+    assert profile.negatives_matched | profile.negatives_unmatched == labeling.negatives
+    assert not (profile.positives_matched & profile.positives_unmatched)
+
+    context = EvaluationContext(query, profile, labeling, 1)
+    values = evaluate_criteria((DELTA_1, DELTA_4, DELTA_5), context)
+    assert all(0.0 <= value <= 1.0 for value in values.values())
+
+    score = example_3_8_expression().score(values)
+    assert min(values.values()) - 1e-9 <= score <= max(values.values()) + 1e-9
+
+
+@SETTINGS
+@given(
+    st.floats(min_value=0.1, max_value=10),
+    st.floats(min_value=0.1, max_value=10),
+    st.floats(min_value=0.1, max_value=10),
+)
+def test_weighted_average_is_convex_combination(alpha, beta, gamma):
+    values = {"delta1": 0.75, "delta4": 1.0, "delta5": 1 / 3}
+    score = example_3_8_expression(alpha, beta, gamma).score(values)
+    assert min(values.values()) - 1e-9 <= score <= max(values.values()) + 1e-9

@@ -1,0 +1,88 @@
+"""Unit tests for explanation reports and their rendering."""
+
+import pytest
+
+from repro.core.best_describe import ScoredQuery
+from repro.core.labeling import Labeling, normalize_tuple
+from repro.core.matching import MatchProfile
+from repro.core.report import Explanation, ExplanationReport, build_report
+from repro.queries.parser import parse_cq
+
+
+def profile(tp=("a",), fn=(), fp=(), tn=("z",)):
+    return MatchProfile(
+        positives_matched=frozenset(normalize_tuple(v) for v in tp),
+        positives_unmatched=frozenset(normalize_tuple(v) for v in fn),
+        negatives_matched=frozenset(normalize_tuple(v) for v in fp),
+        negatives_unmatched=frozenset(normalize_tuple(v) for v in tn),
+    )
+
+
+def scored(score=0.8, query_text="q(x) :- studies(x, 'Math')", **profile_kwargs):
+    return ScoredQuery(
+        query=parse_cq(query_text),
+        score=score,
+        criterion_values=(("delta1", 0.5), ("delta4", 1.0)),
+        profile=profile(**profile_kwargs),
+    )
+
+
+class TestExplanation:
+    def test_from_scored(self):
+        explanation = Explanation.from_scored(1, scored())
+        assert explanation.rank == 1
+        assert explanation.values == {"delta1": 0.5, "delta4": 1.0}
+
+    def test_is_perfect(self):
+        assert Explanation.from_scored(1, scored()).is_perfect()
+        imperfect = Explanation.from_scored(1, scored(fp=("bad",)))
+        assert not imperfect.is_perfect()
+
+    def test_summary_mentions_counts(self):
+        summary = Explanation.from_scored(2, scored()).summary()
+        assert "#2" in summary and "1/1" in summary
+
+
+class TestExplanationReport:
+    def build(self, count=3):
+        labeling = Labeling(["a"], ["z"], name="demo")
+        ranking = [scored(score=1.0 - 0.1 * index) for index in range(count)]
+        return build_report(labeling, 1, ["delta1", "delta4"], "WeightedAverage", ranking, count)
+
+    def test_best_and_top(self):
+        report = self.build()
+        assert report.best.rank == 1
+        assert len(report.top(2)) == 2
+        assert len(report) == 3
+
+    def test_top_k_limit_in_build(self):
+        labeling = Labeling(["a"], ["z"])
+        ranking = [scored(score=0.9), scored(score=0.8)]
+        report = build_report(labeling, 1, ["delta1"], "Z", ranking, 2, top_k=1)
+        assert len(report) == 1
+
+    def test_render_contains_parameters(self):
+        text = self.build().render()
+        assert "radius r = 1" in text
+        assert "delta1" in text
+        assert "q(?x)" in text
+
+    def test_render_empty(self):
+        labeling = Labeling(["a"], ["z"])
+        report = build_report(labeling, 1, ["delta1"], "Z", [], 0)
+        assert "(no candidate explanations)" in report.render()
+        assert report.best is None
+
+    def test_to_rows(self):
+        rows = self.build().to_rows()
+        assert len(rows) == 3
+        assert rows[0]["rank"] == 1
+        assert "delta1" in rows[0]
+
+    def test_perfect_explanations_filter(self):
+        report = self.build()
+        assert len(report.perfect_explanations()) == 3
+
+    def test_iteration_order(self):
+        ranks = [explanation.rank for explanation in self.build()]
+        assert ranks == [1, 2, 3]

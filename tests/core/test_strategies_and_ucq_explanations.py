@@ -1,0 +1,117 @@
+"""Additional cross-cutting tests: chase-backed explanation, UCQ explanations,
+and the δ6 trade-off on the running example."""
+
+import pytest
+
+from repro.core import MatchEvaluator, OntologyExplainer, WeightedAverage
+from repro.core.criteria import DELTA_6, EvaluationContext
+from repro.obdm.system import OBDMSystem
+from repro.ontologies.university import (
+    build_university_database,
+    build_university_labeling,
+    build_university_specification,
+    example_queries,
+)
+from repro.queries.parser import parse_ucq
+from repro.queries.ucq import UnionOfConjunctiveQueries
+
+
+@pytest.fixture(scope="module")
+def chase_system():
+    """The running example answered with the chase strategy instead of rewriting."""
+    specification = build_university_specification().with_strategy("chase")
+    return OBDMSystem(specification, build_university_database(), name="chase_Sigma")
+
+
+class TestChaseBackedMatching:
+    """Definition 3.4 must not depend on the certain-answer strategy."""
+
+    @pytest.mark.parametrize("query_name, positives, negatives", [
+        ("q1", 3, 0),
+        ("q2", 2, 1),
+        ("q3", 2, 0),
+    ])
+    def test_profiles_match_rewriting(self, chase_system, query_name, positives, negatives):
+        labeling = build_university_labeling()
+        evaluator = MatchEvaluator(chase_system, radius=1)
+        profile = evaluator.profile(example_queries()[query_name], labeling)
+        assert profile.true_positives == positives
+        assert profile.false_positives == negatives
+
+    def test_explainer_over_chase_system(self, chase_system):
+        labeling = build_university_labeling()
+        explainer = OntologyExplainer(chase_system)
+        report = explainer.explain(
+            labeling, radius=1, candidates=list(example_queries().values())
+        )
+        assert str(report.best.query).startswith("q3")
+
+
+class TestUCQExplanations:
+    """The UCQ language with criterion δ6 (few disjuncts)."""
+
+    def test_union_of_q2_and_q3_covers_everything(self, university_evaluator, university_labeling):
+        union = parse_ucq(
+            "q(x) :- studies(x, 'Math')\nq(x) :- likes(x, 'Science')"
+        )
+        profile = university_evaluator.profile(union, university_labeling)
+        # The union matches every positive, but inherits q2's false positive.
+        assert profile.positive_coverage() == 1.0
+        assert profile.false_positives == 1
+
+    def test_union_of_q1_and_q3_is_perfect(self, university_evaluator, university_labeling):
+        union = parse_ucq(
+            "q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, 'Rome')\n"
+            "q(x) :- likes(x, 'Science')"
+        )
+        profile = university_evaluator.profile(union, university_labeling)
+        # UCQs *can* perfectly separate Example 3.6 even though no CQ can.
+        assert profile.is_perfect_separation()
+
+    def test_delta6_penalises_larger_unions(self, university_evaluator, university_labeling):
+        small = parse_ucq("q(x) :- likes(x, 'Science')")
+        large = parse_ucq(
+            "q(x) :- likes(x, 'Science')\nq(x) :- studies(x, 'Math')\nq(x) :- studies(x, y)"
+        )
+        small_context = EvaluationContext(
+            small, university_evaluator.profile(small, university_labeling), university_labeling, 1
+        )
+        large_context = EvaluationContext(
+            large, university_evaluator.profile(large, university_labeling), university_labeling, 1
+        )
+        assert DELTA_6.evaluate(small_context) > DELTA_6.evaluate(large_context)
+
+    def test_best_ucq_search_reaches_perfect_separation(
+        self, university_system, university_labeling
+    ):
+        from repro.core.best_describe import BestDescriptionSearch
+
+        search = BestDescriptionSearch(
+            university_system,
+            university_labeling,
+            criteria=("delta1", "delta4", "delta6"),
+            expression=WeightedAverage.of({"delta1": 3.0, "delta4": 3.0, "delta6": 1.0}),
+        )
+        queries = list(example_queries().values())
+        best_union = search.best_ucq(queries, max_disjuncts=2)
+        assert isinstance(best_union.query, UnionOfConjunctiveQueries)
+        assert best_union.profile.is_perfect_separation()
+
+
+class TestExplainerScoreConsistency:
+    def test_score_matches_report_entry(self, university_explainer, university_labeling, university_queries):
+        q3 = university_queries["q3"]
+        direct = university_explainer.score(q3, university_labeling, radius=1)
+        report = university_explainer.explain(
+            university_labeling, radius=1, candidates=[q3]
+        )
+        assert report.best.score == pytest.approx(direct.score)
+
+    def test_inverted_labeling_swaps_coverage_and_exclusion(
+        self, university_explainer, university_labeling, university_queries
+    ):
+        q2 = university_queries["q2"]
+        normal = university_explainer.profile(q2, university_labeling)
+        inverted = university_explainer.profile(q2, university_labeling.inverted())
+        assert normal.true_positives == inverted.false_positives
+        assert normal.false_positives == inverted.true_positives

@@ -1,0 +1,102 @@
+"""Unit tests for the DL-Lite axiom/ontology text parser."""
+
+import pytest
+
+from repro.dl.ontology import Ontology
+from repro.dl.parser import parse_axiom, parse_axioms, parse_ontology
+from repro.dl.syntax import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptInclusion,
+    ExistentialRestriction,
+    InverseRole,
+    NegatedConcept,
+    NegatedRole,
+    RoleInclusion,
+)
+from repro.errors import OntologyParseError
+
+
+class TestParseAxiom:
+    def test_role_inclusion_lowercase(self):
+        axiom = parse_axiom("studies [= likes")
+        assert isinstance(axiom, RoleInclusion)
+        assert axiom.lhs == AtomicRole("studies")
+        assert axiom.rhs == AtomicRole("likes")
+
+    def test_concept_inclusion_uppercase(self):
+        axiom = parse_axiom("Student [= Person")
+        assert isinstance(axiom, ConceptInclusion)
+        assert axiom.lhs == AtomicConcept("Student")
+
+    def test_unicode_inclusion_symbol(self):
+        axiom = parse_axiom("studies ⊑ likes")
+        assert isinstance(axiom, RoleInclusion)
+
+    def test_domain_axiom(self):
+        axiom = parse_axiom("exists teaches [= Teacher")
+        assert axiom.lhs == ExistentialRestriction(AtomicRole("teaches"))
+        assert axiom.rhs == AtomicConcept("Teacher")
+
+    def test_range_axiom_with_suffix_inverse(self):
+        axiom = parse_axiom("exists teaches- [= Course")
+        assert axiom.lhs == ExistentialRestriction(InverseRole(AtomicRole("teaches")))
+
+    def test_range_axiom_with_inv_function(self):
+        axiom = parse_axiom("exists inv(teaches) [= Course")
+        assert axiom.lhs == ExistentialRestriction(InverseRole(AtomicRole("teaches")))
+
+    def test_mandatory_participation(self):
+        axiom = parse_axiom("Student [= exists enrolledIn")
+        assert axiom.rhs == ExistentialRestriction(AtomicRole("enrolledIn"))
+
+    def test_concept_disjointness(self):
+        axiom = parse_axiom("Undergraduate [= not Graduate")
+        assert isinstance(axiom.rhs, NegatedConcept)
+        assert not axiom.is_positive()
+
+    def test_role_disjointness(self):
+        axiom = parse_axiom("teaches [= not attends")
+        assert isinstance(axiom, RoleInclusion)
+        assert isinstance(axiom.rhs, NegatedRole)
+
+    def test_vocabulary_overrides_capitalisation(self):
+        ontology = Ontology(concept_names=["student"], role_names=[])
+        axiom = parse_axiom("student [= person", ontology)
+        assert isinstance(axiom, ConceptInclusion)
+
+    def test_negation_on_lhs_rejected(self):
+        with pytest.raises(OntologyParseError):
+            parse_axiom("not A [= B")
+
+    def test_missing_inclusion_rejected(self):
+        with pytest.raises(OntologyParseError):
+            parse_axiom("Student Person")
+
+    def test_two_inclusions_rejected(self):
+        with pytest.raises(OntologyParseError):
+            parse_axiom("A [= B [= C")
+
+
+class TestParseAxiomsAndOntology:
+    TEXT = """
+    # the university ontology
+    studies [= likes
+    Student [= Person
+    exists studies [= Student ;
+    Undergraduate [= not Graduate
+    """
+
+    def test_parse_axioms_skips_comments(self):
+        axioms = parse_axioms(self.TEXT)
+        assert len(axioms) == 4
+
+    def test_parse_ontology_vocabulary(self):
+        ontology = parse_ontology(self.TEXT, name="uni")
+        assert "studies" in ontology.role_names
+        assert "Person" in ontology.concept_names
+        assert len(ontology) == 4
+
+    def test_predeclared_vocabulary(self):
+        ontology = parse_ontology("a [= b", concept_names=["a", "b"])
+        assert len(ontology.concept_inclusions()) == 1

@@ -1,0 +1,152 @@
+"""Unit tests for the DL-Lite_R structural reasoner."""
+
+import pytest
+
+from repro.dl.normalize import normalize, positive_closure
+from repro.dl.ontology import Ontology, disjoint, domain_of, range_of, subclass, subrole
+from repro.dl.reasoner import Reasoner, invert
+from repro.dl.syntax import AtomicConcept, AtomicRole, ExistentialRestriction, InverseRole
+from repro.queries.atoms import Atom
+
+
+def build_ontology() -> Ontology:
+    ontology = Ontology(name="test")
+    ontology.add_axioms(
+        [
+            subrole("studies", "likes"),
+            subrole("likes", "interestedIn"),
+            subclass("Undergraduate", "Student"),
+            subclass("Student", "Person"),
+            domain_of("studies", "Student"),
+            range_of("studies", "Subject"),
+            disjoint("Student", "Subject"),
+        ]
+    )
+    return ontology
+
+
+@pytest.fixture()
+def reasoner():
+    return Reasoner(build_ontology())
+
+
+class TestRoleHierarchy:
+    def test_direct_subsumption(self, reasoner):
+        assert reasoner.is_role_subsumed(AtomicRole("studies"), AtomicRole("likes"))
+
+    def test_transitive_subsumption(self, reasoner):
+        assert reasoner.is_role_subsumed(AtomicRole("studies"), AtomicRole("interestedIn"))
+
+    def test_inverse_propagation(self, reasoner):
+        assert reasoner.is_role_subsumed(
+            AtomicRole("studies").inverse(), AtomicRole("likes").inverse()
+        )
+
+    def test_no_reverse_subsumption(self, reasoner):
+        assert not reasoner.is_role_subsumed(AtomicRole("likes"), AtomicRole("studies"))
+
+    def test_reflexivity(self, reasoner):
+        assert reasoner.is_role_subsumed(AtomicRole("studies"), AtomicRole("studies"))
+
+    def test_subsumees(self, reasoner):
+        subsumees = reasoner.role_subsumees(AtomicRole("interestedIn"))
+        assert AtomicRole("studies") in subsumees
+        assert AtomicRole("likes") in subsumees
+
+
+class TestConceptHierarchy:
+    def test_atomic_chain(self, reasoner):
+        assert reasoner.is_subsumed(AtomicConcept("Undergraduate"), AtomicConcept("Person"))
+
+    def test_domain_axiom(self, reasoner):
+        assert reasoner.is_subsumed(
+            ExistentialRestriction(AtomicRole("studies")), AtomicConcept("Student")
+        )
+
+    def test_range_axiom(self, reasoner):
+        assert reasoner.is_subsumed(
+            ExistentialRestriction(AtomicRole("studies").inverse()), AtomicConcept("Subject")
+        )
+
+    def test_role_hierarchy_lifts_to_existentials(self, reasoner):
+        assert reasoner.is_subsumed(
+            ExistentialRestriction(AtomicRole("studies")),
+            ExistentialRestriction(AtomicRole("likes")),
+        )
+
+    def test_domain_through_role_hierarchy_and_concepts(self, reasoner):
+        # exists studies ⊑ Student ⊑ Person
+        assert reasoner.is_subsumed(
+            ExistentialRestriction(AtomicRole("studies")), AtomicConcept("Person")
+        )
+
+    def test_not_subsumed(self, reasoner):
+        assert not reasoner.is_subsumed(AtomicConcept("Person"), AtomicConcept("Student"))
+
+    def test_classification_covers_all_basic_concepts(self, reasoner):
+        classification = reasoner.classify()
+        assert AtomicConcept("Student") in classification
+        assert all(concept in subsumers for concept, subsumers in classification.items())
+
+    def test_hierarchy_pairs_are_strict(self, reasoner):
+        pairs = reasoner.concept_hierarchy_pairs()
+        assert (AtomicConcept("Undergraduate"), AtomicConcept("Person")) in pairs
+        assert all(first != second for first, second in pairs)
+
+
+class TestDisjointness:
+    def test_declared_disjointness(self, reasoner):
+        assert reasoner.are_disjoint(AtomicConcept("Student"), AtomicConcept("Subject"))
+
+    def test_inherited_disjointness(self, reasoner):
+        assert reasoner.are_disjoint(AtomicConcept("Undergraduate"), AtomicConcept("Subject"))
+
+    def test_satisfiability(self, reasoner):
+        assert reasoner.is_concept_satisfiable(AtomicConcept("Student"))
+
+    def test_abox_consistency_violation(self, reasoner):
+        violations = reasoner.check_abox_consistency(
+            [Atom.of("Undergraduate", "a"), Atom.of("Subject", "a")]
+        )
+        assert violations
+
+    def test_abox_consistency_ok(self, reasoner):
+        violations = reasoner.check_abox_consistency(
+            [Atom.of("Undergraduate", "a"), Atom.of("Subject", "math")]
+        )
+        assert violations == []
+
+    def test_role_fact_triggers_domain_disjointness(self, reasoner):
+        # studies(a, a) makes a both a Student (domain) and a Subject (range).
+        violations = reasoner.check_abox_consistency([Atom.of("studies", "a", "a")])
+        assert violations
+
+
+class TestNormalize:
+    def test_trivial_axioms_removed(self):
+        ontology = Ontology()
+        ontology.add_axiom(subclass("A", "A"))
+        ontology.add_axiom(subclass("A", "B"))
+        assert len(normalize(ontology)) == 1
+
+    def test_double_inverse_flattened(self):
+        ontology = Ontology()
+        double = InverseRole(AtomicRole("r")).inverse()
+        assert double == AtomicRole("r")
+
+    def test_positive_closure_contains_transitive_edges(self):
+        concept_pairs, role_pairs = positive_closure(build_ontology())
+        assert (AtomicConcept("Undergraduate"), AtomicConcept("Person")) in concept_pairs
+        assert (AtomicRole("studies"), AtomicRole("interestedIn")) in role_pairs
+
+    def test_normalization_preserves_entailments(self):
+        original = build_ontology()
+        normalized = normalize(original)
+        assert positive_closure(original) == positive_closure(normalized)
+
+
+class TestInvert:
+    def test_invert_atomic_and_inverse(self):
+        role = AtomicRole("r")
+        assert invert(role) == InverseRole(role)
+        assert invert(InverseRole(role)) == role

@@ -1,0 +1,120 @@
+"""Unit tests for DL-Lite_R syntax objects and the Ontology container."""
+
+import pytest
+
+from repro.dl.ontology import Ontology, disjoint, domain_of, range_of, subclass, subrole
+from repro.dl.syntax import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptInclusion,
+    ExistentialRestriction,
+    InverseRole,
+    NegatedConcept,
+    NegatedRole,
+    RoleInclusion,
+    exists,
+    is_basic_concept,
+    role_of,
+)
+from repro.errors import OntologyError
+
+
+class TestRoles:
+    def test_inverse_roundtrip(self):
+        role = AtomicRole("studies")
+        assert role.inverse().inverse() == role
+
+    def test_predicate_of_inverse(self):
+        assert AtomicRole("studies").inverse().predicate == "studies"
+
+    def test_role_of_helper(self):
+        assert role_of("teaches") == AtomicRole("teaches")
+        assert role_of("teaches", inverse=True) == InverseRole(AtomicRole("teaches"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(OntologyError):
+            AtomicRole("")
+
+
+class TestConcepts:
+    def test_exists_helper(self):
+        assert exists("studies") == ExistentialRestriction(AtomicRole("studies"))
+        assert exists("studies", inverse=True).role == AtomicRole("studies").inverse()
+
+    def test_is_basic_concept(self):
+        assert is_basic_concept(AtomicConcept("Student"))
+        assert is_basic_concept(exists("studies"))
+        assert not is_basic_concept(NegatedConcept(AtomicConcept("Student")))
+
+    def test_negation_not_allowed_on_lhs(self):
+        with pytest.raises(OntologyError):
+            ConceptInclusion(NegatedConcept(AtomicConcept("A")), AtomicConcept("B"))
+
+
+class TestAxiomBuilders:
+    def test_subclass(self):
+        axiom = subclass("Student", "Person")
+        assert axiom.lhs == AtomicConcept("Student")
+        assert axiom.is_positive()
+
+    def test_subrole(self):
+        axiom = subrole("studies", "likes")
+        assert isinstance(axiom, RoleInclusion)
+        assert axiom.is_positive()
+
+    def test_domain_and_range(self):
+        domain_axiom = domain_of("teaches", "Teacher")
+        range_axiom = range_of("teaches", "Course")
+        assert domain_axiom.lhs == exists("teaches")
+        assert range_axiom.lhs == exists("teaches", inverse=True)
+
+    def test_disjoint_is_negative(self):
+        axiom = disjoint("Undergraduate", "Graduate")
+        assert not axiom.is_positive()
+
+
+class TestOntology:
+    def test_vocabulary_collection(self):
+        ontology = Ontology()
+        ontology.add_axiom(subrole("studies", "likes"))
+        ontology.add_axiom(subclass("Student", "Person"))
+        assert "studies" in ontology.role_names
+        assert "likes" in ontology.role_names
+        assert "Student" in ontology.concept_names
+
+    def test_arity_of(self):
+        ontology = Ontology(concept_names=["Student"], role_names=["studies"])
+        assert ontology.arity_of("Student") == 1
+        assert ontology.arity_of("studies") == 2
+        with pytest.raises(OntologyError):
+            ontology.arity_of("unknown")
+
+    def test_duplicate_axioms_not_repeated(self):
+        ontology = Ontology()
+        ontology.add_axiom(subrole("studies", "likes"))
+        ontology.add_axiom(subrole("studies", "likes"))
+        assert len(ontology) == 1
+
+    def test_positive_negative_partition(self):
+        ontology = Ontology()
+        ontology.add_axioms([subclass("A", "B"), disjoint("A", "C")])
+        assert len(ontology.positive_concept_inclusions()) == 1
+        assert len(ontology.negative_concept_inclusions()) == 1
+
+    def test_declare_and_contains(self):
+        ontology = Ontology()
+        ontology.declare_concept("Loan")
+        ontology.declare_role("appliesFor")
+        assert ontology.has_predicate("Loan")
+        assert ontology.has_predicate("appliesFor")
+        axiom = subclass("SmallLoan", "Loan")
+        ontology.add_axiom(axiom)
+        assert axiom in ontology
+
+    def test_copy_is_independent(self):
+        ontology = Ontology()
+        ontology.add_axiom(subclass("A", "B"))
+        duplicate = ontology.copy()
+        duplicate.add_axiom(subclass("B", "C"))
+        assert len(ontology) == 1
+        assert len(duplicate) == 2

@@ -1,0 +1,147 @@
+"""Tests for the domain ontologies and synthetic workload generators."""
+
+import pytest
+
+from repro.core import Labeling, MatchEvaluator, OntologyExplainer
+from repro.core.candidates import CandidateConfig
+from repro.dl.reasoner import Reasoner
+from repro.dl.syntax import AtomicConcept
+from repro.ontologies.compas import build_compas_specification, build_compas_system
+from repro.ontologies.loans import build_loan_specification, build_loan_system
+from repro.ontologies.movies import build_movie_specification, build_movie_system
+from repro.ontologies.university import build_university_system
+from repro.queries.atoms import Atom
+from repro.queries.parser import parse_cq
+from repro.workloads import (
+    CompasWorkloadConfig,
+    LoanWorkloadConfig,
+    MovieWorkloadConfig,
+    UniversityWorkloadConfig,
+    generate_compas_workload,
+    generate_loan_workload,
+    generate_movie_workload,
+    generate_university_workload,
+)
+
+
+class TestLoanDomain:
+    def test_specification_builds(self):
+        specification = build_loan_specification()
+        assert specification.ontology.has_predicate("HighIncomeApplicant")
+        assert len(specification.mapping) >= 15
+
+    def test_concept_hierarchy(self):
+        reasoner = Reasoner(build_loan_specification().ontology)
+        assert reasoner.is_subsumed(
+            AtomicConcept("HighIncomeApplicant"), AtomicConcept("Applicant")
+        )
+
+    def test_workload_determinism(self):
+        first = generate_loan_workload(LoanWorkloadConfig(applicants=30, seed=5))
+        second = generate_loan_workload(LoanWorkloadConfig(applicants=30, seed=5))
+        assert first.database.facts == second.database.facts
+        assert first.dataset.labels == second.dataset.labels
+
+    def test_workload_seed_changes_data(self):
+        first = generate_loan_workload(LoanWorkloadConfig(applicants=30, seed=5))
+        second = generate_loan_workload(LoanWorkloadConfig(applicants=30, seed=6))
+        assert first.database.facts != second.database.facts
+
+    def test_virtual_abox_bands(self):
+        workload = generate_loan_workload(LoanWorkloadConfig(applicants=25, seed=5))
+        system = build_loan_system(workload.database)
+        abox = system.virtual_abox()
+        assert any(fact.predicate == "Applicant" for fact in abox)
+        assert any(fact.predicate == "appliesFor" for fact in abox)
+        # The SQL-based residence mapping must produce residesIn facts.
+        assert any(fact.predicate == "residesIn" for fact in abox)
+
+    def test_income_band_concepts_are_consistent(self):
+        workload = generate_loan_workload(LoanWorkloadConfig(applicants=25, seed=5))
+        system = build_loan_system(workload.database)
+        abox = system.virtual_abox()
+        high = {f.args[0] for f in abox if f.predicate == "HighIncomeApplicant"}
+        low = {f.args[0] for f in abox if f.predicate == "LowIncomeApplicant"}
+        assert not (high & low)
+
+    def test_explanation_respects_ground_truth(self):
+        workload = generate_loan_workload(LoanWorkloadConfig(applicants=40, seed=7))
+        system = build_loan_system(workload.database)
+        labeling = workload.dataset.true_labeling()
+        explainer = OntologyExplainer(system)
+        report = explainer.explain(
+            labeling,
+            radius=1,
+            candidate_config=CandidateConfig(max_atoms=1, max_candidates=100),
+            top_k=3,
+        )
+        # Low income is the dominant rejection reason, so a good 1-atom
+        # explanation must avoid matching negatives almost entirely.
+        assert report.best.profile.negative_exclusion() >= 0.8
+
+
+class TestCompasDomain:
+    def test_specification_builds(self):
+        specification = build_compas_specification()
+        assert specification.ontology.has_predicate("belongsToGroup")
+
+    def test_bias_strength_changes_labels(self):
+        unbiased = generate_compas_workload(CompasWorkloadConfig(persons=40, seed=3, bias_strength=0.0))
+        biased = generate_compas_workload(CompasWorkloadConfig(persons=40, seed=3, bias_strength=1.0))
+        assert unbiased.dataset.labels != biased.dataset.labels
+
+    def test_system_and_borders(self):
+        workload = generate_compas_workload(CompasWorkloadConfig(persons=20, seed=3))
+        system = build_compas_system(workload.database)
+        evaluator = MatchEvaluator(system, radius=1)
+        query = parse_cq("q(x) :- RepeatOffender(x)")
+        labeling = workload.dataset.true_labeling()
+        profile = evaluator.profile(query, labeling)
+        assert profile.positive_total == len(labeling.positives)
+
+
+class TestMovieDomain:
+    def test_specification_builds(self):
+        specification = build_movie_specification()
+        assert specification.ontology.has_predicate("likedBy")
+
+    def test_role_inclusion_liked_implies_rated(self):
+        workload = generate_movie_workload(MovieWorkloadConfig(movies=20, seed=3))
+        system = build_movie_system(workload.database)
+        liked = system.certain_answers(parse_cq("q(x, y) :- likedBy(x, y)"))
+        rated = system.certain_answers(parse_cq("q(x, y) :- ratedBy(x, y)"))
+        assert liked <= rated
+
+    def test_ground_truth_role_chain_explanation(self):
+        workload = generate_movie_workload(MovieWorkloadConfig(movies=30, seed=3))
+        system = build_movie_system(workload.database)
+        labeling = workload.dataset.true_labeling()
+        evaluator = MatchEvaluator(system, radius=1)
+        query = parse_cq("q(x) :- DramaMovie(x), likedBy(x, y), Critic(y)")
+        profile = evaluator.profile(query, labeling)
+        # The rule is half of the ground truth, so it must match only positives.
+        assert profile.false_positives == 0
+        assert profile.true_positives >= 1
+
+
+class TestUniversityWorkload:
+    def test_label_partition(self):
+        workload = generate_university_workload(UniversityWorkloadConfig(students=40, seed=1))
+        positives = workload.parameters["positives"]
+        negatives = workload.parameters["negatives"]
+        assert len(positives) + len(negatives) == 40
+
+    def test_ground_truth_query_separates(self):
+        workload = generate_university_workload(
+            UniversityWorkloadConfig(students=30, enrolments_per_student=1, seed=1)
+        )
+        system = build_university_system()
+        scaled = system.specification
+        from repro.obdm.system import OBDMSystem
+
+        scaled_system = OBDMSystem(scaled, workload.database)
+        labeling = Labeling(workload.parameters["positives"], workload.parameters["negatives"])
+        evaluator = MatchEvaluator(scaled_system, radius=1)
+        query = parse_cq("q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, 'Rome')")
+        profile = evaluator.profile(query, labeling)
+        assert profile.is_perfect_separation()

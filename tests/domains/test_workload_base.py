@@ -1,0 +1,63 @@
+"""Unit tests for the shared workload-generator infrastructure."""
+
+import pytest
+
+from repro.workloads.generator import SeededGenerator, Workload, banded
+from repro.workloads import (
+    MovieWorkloadConfig,
+    UniversityWorkloadConfig,
+    generate_movie_workload,
+    generate_university_workload,
+)
+
+
+class TestSeededGenerator:
+    def test_same_seed_same_sequence(self):
+        first = SeededGenerator(3)
+        second = SeededGenerator(3)
+        assert [first.integer(0, 100) for _ in range(5)] == [
+            second.integer(0, 100) for _ in range(5)
+        ]
+
+    def test_choice_with_probabilities(self):
+        generator = SeededGenerator(1)
+        values = {generator.choice(["a", "b"], probabilities=(1.0, 0.0)) for _ in range(10)}
+        assert values == {"a"}
+
+    def test_integer_bounds_inclusive(self):
+        generator = SeededGenerator(2)
+        values = {generator.integer(1, 3) for _ in range(100)}
+        assert values == {1, 2, 3}
+
+    def test_boolean_probability_extremes(self):
+        generator = SeededGenerator(4)
+        assert all(generator.boolean(1.0) for _ in range(10))
+        assert not any(generator.boolean(0.0) for _ in range(10))
+
+    def test_uniform_and_normal_are_floats(self):
+        generator = SeededGenerator(5)
+        assert isinstance(generator.uniform(0, 1), float)
+        assert isinstance(generator.normal(0, 1), float)
+
+
+class TestBanded:
+    BANDS = (("low", 10.0), ("medium", 20.0), ("high", float("inf")))
+
+    def test_band_boundaries(self):
+        assert banded(5, self.BANDS) == "low"
+        assert banded(10, self.BANDS) == "low"
+        assert banded(15, self.BANDS) == "medium"
+        assert banded(1000, self.BANDS) == "high"
+
+
+class TestWorkloadContainer:
+    def test_str_mentions_sizes(self):
+        workload = generate_movie_workload(MovieWorkloadConfig(movies=10, seed=1))
+        text = str(workload)
+        assert "movies" in text and "facts" in text
+
+    def test_university_workload_has_no_dataset(self):
+        workload = generate_university_workload(UniversityWorkloadConfig(students=10))
+        assert workload.dataset is None
+        assert isinstance(workload, Workload)
+        assert workload.parameters["students"] == 10

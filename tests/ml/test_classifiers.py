@@ -1,0 +1,194 @@
+"""Unit tests for the from-scratch classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, NotFittedError
+from repro.ml import (
+    DecisionStump,
+    DecisionTreeClassifier,
+    GaussianNaiveBayes,
+    KNearestNeighbors,
+    LogisticRegression,
+    ThresholdRuleClassifier,
+    normalize_labels,
+)
+
+RNG = np.random.default_rng(42)
+
+
+def linearly_separable(n=120):
+    """Two Gaussian blobs separated along the first feature."""
+    positive = RNG.normal(loc=(2.0, 0.0), scale=0.5, size=(n // 2, 2))
+    negative = RNG.normal(loc=(-2.0, 0.0), scale=0.5, size=(n // 2, 2))
+    X = np.vstack([positive, negative])
+    y = np.array([1] * (n // 2) + [-1] * (n // 2))
+    return X, y
+
+
+def xor_like(n=200):
+    """A dataset a linear model cannot fit but a depth-2 tree can."""
+    X = RNG.uniform(-1, 1, size=(n, 2))
+    y = np.where((X[:, 0] > 0) ^ (X[:, 1] > 0), 1, -1)
+    return X, y
+
+
+ALL_CLASSIFIERS = [
+    DecisionTreeClassifier,
+    LogisticRegression,
+    GaussianNaiveBayes,
+    KNearestNeighbors,
+    DecisionStump,
+]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("classifier_class", ALL_CLASSIFIERS)
+    def test_fit_predict_separable(self, classifier_class):
+        X, y = linearly_separable()
+        classifier = classifier_class().fit(X, y)
+        assert classifier.score(X, y) >= 0.95
+
+    @pytest.mark.parametrize("classifier_class", ALL_CLASSIFIERS)
+    def test_predictions_are_plus_minus_one(self, classifier_class):
+        X, y = linearly_separable(60)
+        predictions = classifier_class().fit(X, y).predict(X)
+        assert set(np.unique(predictions)) <= {-1, 1}
+
+    @pytest.mark.parametrize("classifier_class", ALL_CLASSIFIERS)
+    def test_predict_before_fit_raises(self, classifier_class):
+        with pytest.raises(NotFittedError):
+            classifier_class().predict([[0.0, 0.0]])
+
+    @pytest.mark.parametrize("classifier_class", ALL_CLASSIFIERS)
+    def test_probabilities_in_unit_interval(self, classifier_class):
+        X, y = linearly_separable(60)
+        probabilities = classifier_class().fit(X, y).predict_proba(X)
+        assert np.all(probabilities >= 0.0) and np.all(probabilities <= 1.0)
+
+    @pytest.mark.parametrize("classifier_class", ALL_CLASSIFIERS)
+    def test_feature_count_mismatch_rejected(self, classifier_class):
+        X, y = linearly_separable(60)
+        classifier = classifier_class().fit(X, y)
+        with pytest.raises(DatasetError):
+            classifier.predict([[1.0, 2.0, 3.0]])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DatasetError):
+            DecisionTreeClassifier().fit([[1.0], [2.0]], [1])
+
+    def test_empty_training_set_rejected(self):
+        with pytest.raises(DatasetError):
+            LogisticRegression().fit(np.empty((0, 2)), np.empty((0,)))
+
+
+class TestNormalizeLabels:
+    def test_zero_one_encoding(self):
+        assert list(normalize_labels([0, 1, 0, 1])) == [-1, 1, -1, 1]
+
+    def test_plus_minus_passthrough(self):
+        assert list(normalize_labels([-1, 1])) == [-1, 1]
+
+    def test_boolean_encoding(self):
+        assert list(normalize_labels([True, False])) == [1, -1]
+
+    def test_three_classes_rejected(self):
+        with pytest.raises(DatasetError):
+            normalize_labels([0, 1, 2])
+
+
+class TestDecisionTree:
+    def test_fits_xor(self):
+        X, y = xor_like()
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert tree.score(X, y) >= 0.9
+
+    def test_depth_limit_respected(self):
+        X, y = xor_like()
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_rules_extraction(self):
+        X, y = linearly_separable(60)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        rules = tree.rules(["income", "age"])
+        assert rules and all("THEN" in rule for rule in rules)
+
+    def test_node_count_positive(self):
+        X, y = linearly_separable(60)
+        assert DecisionTreeClassifier().fit(X, y).node_count() >= 1
+
+    def test_deterministic(self):
+        X, y = xor_like()
+        first = DecisionTreeClassifier(max_depth=3).fit(X, y).predict(X)
+        second = DecisionTreeClassifier(max_depth=3).fit(X, y).predict(X)
+        assert np.array_equal(first, second)
+
+
+class TestLogisticRegression:
+    def test_xor_is_hard_for_linear_model(self):
+        X, y = xor_like()
+        model = LogisticRegression(iterations=300).fit(X, y)
+        assert model.score(X, y) < 0.8
+
+    def test_coefficients_shape(self):
+        X, y = linearly_separable()
+        model = LogisticRegression().fit(X, y)
+        assert model.coefficients().shape == (2,)
+
+    def test_regularisation_shrinks_weights(self):
+        X, y = linearly_separable()
+        free = LogisticRegression(l2=0.0).fit(X, y)
+        shrunk = LogisticRegression(l2=5.0).fit(X, y)
+        assert np.linalg.norm(shrunk.coefficients()) < np.linalg.norm(free.coefficients())
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(DatasetError):
+            LogisticRegression(learning_rate=0)
+        with pytest.raises(DatasetError):
+            LogisticRegression(iterations=0)
+
+
+class TestNaiveBayesAndKNN:
+    def test_naive_bayes_single_class_degenerate(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([1, 1])
+        model = GaussianNaiveBayes().fit(X, y)
+        assert set(model.predict(X)) == {1}
+
+    def test_knn_k_larger_than_dataset(self):
+        X, y = linearly_separable(10)
+        model = KNearestNeighbors(k=50).fit(X, y)
+        assert model.predict(X).shape == (10,)
+
+    def test_knn_invalid_k(self):
+        with pytest.raises(DatasetError):
+            KNearestNeighbors(k=0)
+
+    def test_knn_memorises_training_data(self):
+        X, y = xor_like(80)
+        model = KNearestNeighbors(k=1).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+
+class TestRuleClassifiers:
+    def test_threshold_rule_from_strings(self):
+        rule = ThresholdRuleClassifier.from_strings(
+            ["income >= 40000", "amount < 50000"], ["income", "amount"]
+        )
+        X = np.array([[50_000, 10_000], [30_000, 10_000], [60_000, 80_000]])
+        rule.fit(X, [1, -1, -1])
+        assert list(rule.predict(X)) == [1, -1, -1]
+
+    def test_threshold_rule_describe(self):
+        rule = ThresholdRuleClassifier.from_strings(["income >= 40000"], ["income"])
+        assert "income >= 40000" in rule.describe()
+
+    def test_threshold_rule_unknown_feature_rejected(self):
+        with pytest.raises(DatasetError):
+            ThresholdRuleClassifier.from_strings(["salary > 3"], ["income"])
+
+    def test_decision_stump_picks_informative_feature(self):
+        X, y = linearly_separable()
+        stump = DecisionStump().fit(X, y)
+        assert stump.feature_ == 0

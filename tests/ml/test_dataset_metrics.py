@@ -1,0 +1,134 @@
+"""Unit tests for tabular datasets and classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.ml import (
+    DecisionTreeClassifier,
+    TabularDataset,
+    accuracy,
+    balanced_accuracy,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision,
+    recall,
+)
+
+
+def make_dataset(rows=20):
+    records = []
+    for index in range(rows):
+        records.append(
+            {
+                "id": f"APP{index:03d}",
+                "income": 10_000.0 + 2_000.0 * index,
+                "age": 20.0 + index,
+                "label": 1 if index % 2 == 0 else -1,
+            }
+        )
+    return TabularDataset.from_records(records, key_column="id", label_column="label")
+
+
+class TestTabularDataset:
+    def test_from_records_shapes(self):
+        dataset = make_dataset()
+        assert len(dataset) == 20
+        assert dataset.X.shape == (20, 2)
+        assert set(dataset.feature_names) == {"income", "age"}
+
+    def test_label_normalisation(self):
+        records = [
+            {"id": "a", "f": 1.0, "label": 0},
+            {"id": "b", "f": 2.0, "label": 1},
+        ]
+        dataset = TabularDataset.from_records(records, "id", "label")
+        assert sorted(dataset.labels) == [-1, 1]
+
+    def test_missing_key_column_rejected(self):
+        with pytest.raises(DatasetError):
+            TabularDataset.from_records([{"f": 1.0, "label": 1}], "id", "label")
+
+    def test_inconsistent_sizes_rejected(self):
+        with pytest.raises(DatasetError):
+            TabularDataset(["a"], ["f"], [[1.0], [2.0]], [1, -1])
+
+    def test_train_test_split_partition(self):
+        dataset = make_dataset(30)
+        train, test = dataset.train_test_split(test_fraction=0.3, seed=1)
+        assert len(train) + len(test) == 30
+        assert set(train.keys).isdisjoint(test.keys)
+
+    def test_train_test_split_deterministic(self):
+        dataset = make_dataset(30)
+        first = dataset.train_test_split(seed=5)[1].keys
+        second = dataset.train_test_split(seed=5)[1].keys
+        assert first == second
+
+    def test_invalid_test_fraction(self):
+        with pytest.raises(DatasetError):
+            make_dataset().train_test_split(test_fraction=1.5)
+
+    def test_true_labeling_bridge(self):
+        dataset = make_dataset(10)
+        labeling = dataset.true_labeling()
+        assert len(labeling.positives) == 5
+        assert len(labeling.negatives) == 5
+
+    def test_predicted_labeling_bridge(self):
+        dataset = make_dataset(20)
+        classifier = DecisionTreeClassifier(max_depth=3).fit(dataset.X, dataset.y)
+        labeling = dataset.predicted_labeling(classifier)
+        assert len(labeling) == 20
+
+    def test_class_balance(self):
+        balance = make_dataset(10).class_balance()
+        assert balance[1] == 5 and balance[-1] == 5
+
+    def test_subset(self):
+        dataset = make_dataset(10)
+        subset = dataset.subset([0, 1, 2])
+        assert len(subset) == 3
+        assert subset.keys == dataset.keys[:3]
+
+
+class TestMetrics:
+    TRUTH = [1, 1, 1, -1, -1, -1]
+    PREDICTIONS = [1, 1, -1, -1, -1, 1]
+
+    def test_confusion_matrix(self):
+        counts = confusion_matrix(self.TRUTH, self.PREDICTIONS)
+        assert counts == {"tp": 2, "fp": 1, "fn": 1, "tn": 2}
+
+    def test_accuracy(self):
+        assert accuracy(self.TRUTH, self.PREDICTIONS) == pytest.approx(4 / 6)
+
+    def test_precision_recall_f1(self):
+        assert precision(self.TRUTH, self.PREDICTIONS) == pytest.approx(2 / 3)
+        assert recall(self.TRUTH, self.PREDICTIONS) == pytest.approx(2 / 3)
+        assert f1_score(self.TRUTH, self.PREDICTIONS) == pytest.approx(2 / 3)
+
+    def test_balanced_accuracy(self):
+        assert balanced_accuracy(self.TRUTH, self.PREDICTIONS) == pytest.approx(2 / 3)
+
+    def test_perfect_predictions(self):
+        assert accuracy(self.TRUTH, self.TRUTH) == 1.0
+        assert f1_score(self.TRUTH, self.TRUTH) == 1.0
+
+    def test_degenerate_no_positive_predictions(self):
+        truth = [1, -1]
+        predictions = [-1, -1]
+        assert precision(truth, predictions) == 0.0
+        assert f1_score(truth, predictions) == 0.0
+
+    def test_classification_report_keys(self):
+        report = classification_report(self.TRUTH, self.PREDICTIONS)
+        assert {"tp", "fp", "fn", "tn", "accuracy", "precision", "recall", "f1"} <= set(report)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            accuracy([1, -1], [1])
+
+    def test_zero_one_encoding_accepted(self):
+        assert accuracy([0, 1], [0, 1]) == 1.0

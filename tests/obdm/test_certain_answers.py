@@ -1,0 +1,162 @@
+"""Unit and integration tests for certain answers, specifications and systems."""
+
+import pytest
+
+from repro.errors import CertainAnswerError, MappingError
+from repro.obdm.certain_answers import CertainAnswerEngine
+from repro.obdm.database import SourceDatabase
+from repro.obdm.mapping import Mapping
+from repro.obdm.schema import SourceSchema
+from repro.obdm.specification import OBDMSpecification
+from repro.obdm.system import OBDMSystem
+from repro.ontologies.university import (
+    build_university_database,
+    build_university_mapping,
+    build_university_ontology,
+    build_university_schema,
+    build_university_specification,
+    build_university_system,
+    example_queries,
+)
+from repro.queries.atoms import Atom
+from repro.queries.parser import parse_cq
+from repro.queries.terms import Constant
+
+
+def constants(values):
+    return {(Constant(v),) for v in values}
+
+
+class TestCertainAnswersUniversity:
+    """Certain answers on the running example (both strategies)."""
+
+    @pytest.mark.parametrize("strategy", ["rewriting", "chase"])
+    def test_q1_answers(self, strategy):
+        # Over the FULL database every student studies a subject that is
+        # taught *somewhere* in Rome (Math at TV, Science at TV), so q1
+        # returns all five students.  This is exactly why the paper's
+        # matching (Definition 3.4) restricts evaluation to borders.
+        specification = build_university_specification().with_strategy(strategy)
+        database = build_university_database()
+        answers = specification.certain_answers(example_queries()["q1"], database)
+        assert answers == constants(["A10", "B80", "C12", "D50", "E25"])
+
+    @pytest.mark.parametrize("strategy", ["rewriting", "chase"])
+    def test_q2_answers(self, strategy):
+        specification = build_university_specification().with_strategy(strategy)
+        database = build_university_database()
+        answers = specification.certain_answers(example_queries()["q2"], database)
+        assert answers == constants(["A10", "B80", "E25"])
+
+    @pytest.mark.parametrize("strategy", ["rewriting", "chase"])
+    def test_q3_uses_the_ontology_axiom(self, strategy):
+        # likes(x, 'Science') has no direct facts; studies ⊑ likes provides them.
+        specification = build_university_specification().with_strategy(strategy)
+        database = build_university_database()
+        answers = specification.certain_answers(example_queries()["q3"], database)
+        assert answers == constants(["C12", "D50"])
+
+    def test_strategies_agree_on_all_example_queries(self):
+        database = build_university_database()
+        rewriting = build_university_specification().with_strategy("rewriting")
+        chase = build_university_specification().with_strategy("chase")
+        for query in example_queries().values():
+            assert rewriting.certain_answers(query, database) == chase.certain_answers(
+                query, database
+            )
+
+    def test_is_certain_answer_membership(self):
+        specification = build_university_specification()
+        database = build_university_database()
+        q3 = example_queries()["q3"]
+        assert specification.is_certain_answer(q3, ("C12",), database)
+        assert not specification.is_certain_answer(q3, ("E25",), database)
+
+    def test_certain_answers_monotone_in_database(self):
+        specification = build_university_specification()
+        database = build_university_database()
+        q1 = example_queries()["q1"]
+        full = specification.certain_answers(q1, database)
+        sub_facts = [f for f in database.facts if f.predicate != "LOC"]
+        smaller = specification.certain_answers(q1, database.restrict_to(sub_facts))
+        assert smaller <= full
+
+
+class TestEngineConfiguration:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(CertainAnswerError):
+            CertainAnswerEngine(build_university_ontology(), build_university_mapping(), "magic")
+
+    def test_rewrite_cache_reuse(self):
+        engine = CertainAnswerEngine(build_university_ontology(), build_university_mapping())
+        q = example_queries()["q3"]
+        first = engine.rewrite(q)
+        second = engine.rewrite(q)
+        assert first is second
+
+
+class TestSpecificationValidation:
+    def test_auto_declared_mapping_predicates(self):
+        specification = build_university_specification()
+        assert specification.ontology.has_predicate("taughtIn")
+        assert specification.ontology.has_predicate("locatedIn")
+
+    def test_strict_mode_rejects_unknown_target(self):
+        ontology = build_university_ontology()
+        schema = build_university_schema()
+        mapping = Mapping.from_pairs([("ENR(x, y, z)", "unknownRole(x, y)")])
+        with pytest.raises(MappingError):
+            OBDMSpecification(ontology, schema, mapping, strict=True)
+
+    def test_arity_clash_rejected(self):
+        ontology = build_university_ontology()
+        schema = build_university_schema()
+        mapping = Mapping.from_pairs([("ENR(x, y, z)", "studies(x)")])
+        with pytest.raises(MappingError):
+            OBDMSpecification(ontology, schema, mapping)
+
+    def test_ternary_target_rejected(self):
+        ontology = build_university_ontology()
+        schema = build_university_schema()
+        mapping = Mapping.from_pairs([("ENR(x, y, z)", "triple(x, y, z)")])
+        with pytest.raises(MappingError):
+            OBDMSpecification(ontology, schema, mapping)
+
+
+class TestOBDMSystem:
+    def test_virtual_abox_contents(self, university_system):
+        abox = university_system.virtual_abox()
+        assert Atom.of("studies", "A10", "Math") in abox
+        assert Atom.of("locatedIn", "TV", "Rome") in abox
+        # STUD has no mapping assertion, so no concept facts are retrieved.
+        assert abox.predicates() == {"studies", "taughtIn", "locatedIn"}
+
+    def test_certain_answers_over_subdatabase(self, university_system):
+        q2 = example_queries()["q2"]
+        border_facts = [
+            Atom.of("STUD", "E25"),
+            Atom.of("ENR", "E25", "Math", "Pol"),
+            Atom.of("LOC", "Pol", "Milan"),
+        ]
+        answers = university_system.certain_answers(q2, facts=border_facts)
+        assert answers == constants(["E25"])
+
+    def test_is_certain_answer_over_subdatabase(self, university_system):
+        q1 = example_queries()["q1"]
+        border_facts = [
+            Atom.of("ENR", "E25", "Math", "Pol"),
+            Atom.of("LOC", "Pol", "Milan"),
+        ]
+        assert not university_system.is_certain_answer(q1, ("E25",), facts=border_facts)
+
+    def test_domain(self, university_system):
+        domain = university_system.domain()
+        assert Constant("A10") in domain
+        assert Constant("Rome") in domain
+
+    def test_invalidate_refreshes_abox(self):
+        system = build_university_system()
+        before = len(system.virtual_abox())
+        system.database.add("ENR", "F99", "Law", "Sap")
+        system.invalidate()
+        assert len(system.virtual_abox()) > before

@@ -1,0 +1,103 @@
+"""Unit tests for mapping assertions and virtual ABox retrieval."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.obdm.database import SourceDatabase
+from repro.obdm.mapping import Mapping, MappingAssertion
+from repro.obdm.schema import SourceSchema
+from repro.obdm.virtual_abox import retrieve_abox
+from repro.queries.atoms import Atom
+from repro.queries.parser import parse_cq
+
+
+@pytest.fixture()
+def database():
+    schema = SourceSchema(name="S")
+    schema.declare("ENR", ("student", "subject", "university"))
+    schema.declare("LOC", ("university", "city"))
+    database = SourceDatabase(schema, name="D")
+    database.add("ENR", "A10", "Math", "TV")
+    database.add("ENR", "C12", "Science", "Norm")
+    database.add("LOC", "TV", "Rome")
+    return database
+
+
+class TestMappingAssertion:
+    def test_atom_source_shorthand(self, database):
+        assertion = MappingAssertion.create("ENR(x, y, z)", "studies(x, y)")
+        facts = assertion.apply(database)
+        assert Atom.of("studies", "A10", "Math") in facts
+        assert len(facts) == 2
+
+    def test_rule_source(self, database):
+        assertion = MappingAssertion.create(
+            "m(x) :- ENR(x, y, z), LOC(z, 'Rome')", "StudentInRome(x)"
+        )
+        facts = assertion.apply(database)
+        assert facts == {Atom.of("StudentInRome", "A10")}
+
+    def test_multiple_targets(self, database):
+        assertion = MappingAssertion.create("ENR(x, y, z)", ["studies(x, y)", "taughtIn(y, z)"])
+        facts = assertion.apply(database)
+        assert Atom.of("taughtIn", "Science", "Norm") in facts
+        assert len(facts) == 4
+
+    def test_constant_in_source_pattern(self, database):
+        assertion = MappingAssertion.create("ENR(x, 'Math', z)", "MathStudent(x)")
+        assert assertion.apply(database) == {Atom.of("MathStudent", "A10")}
+
+    def test_constant_in_target(self, database):
+        assertion = MappingAssertion.create("ENR(x, y, z)", "hasLevel(x, 'BSc')")
+        facts = assertion.apply(database)
+        assert Atom.of("hasLevel", "A10", "BSc") in facts
+
+    def test_sql_source(self, database):
+        assertion = MappingAssertion.create(
+            "SELECT e.student, e.subject FROM ENR AS e WHERE e.university = 'TV'",
+            "studies(x, y)",
+        )
+        assert assertion.apply(database) == {Atom.of("studies", "A10", "Math")}
+
+    def test_unknown_target_variable_rejected(self):
+        with pytest.raises(MappingError):
+            MappingAssertion.create("ENR(x, y, z)", "studies(x, w)")
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(MappingError):
+            MappingAssertion(parse_cq("m(x) :- ENR(x, y, z)"), ())
+
+    def test_str_contains_label(self):
+        assertion = MappingAssertion.create("ENR(x, y, z)", "studies(x, y)", label="m1")
+        assert "m1" in str(assertion)
+
+
+class TestMapping:
+    def test_apply_union_of_assertions(self, database):
+        mapping = Mapping(name="M")
+        mapping.add_assertion("ENR(x, y, z)", "studies(x, y)")
+        mapping.add_assertion("LOC(x, y)", "locatedIn(x, y)")
+        facts = mapping.apply(database)
+        assert Atom.of("locatedIn", "TV", "Rome") in facts
+        assert len(facts) == 3
+
+    def test_from_pairs(self, database):
+        mapping = Mapping.from_pairs(
+            [("ENR(x, y, z)", "studies(x, y)"), ("ENR(x, y, z)", "taughtIn(y, z)")]
+        )
+        assert len(mapping) == 2
+        assert mapping.target_predicates() == {"studies", "taughtIn"}
+        assert mapping.source_predicates() == {"ENR"}
+
+    def test_retrieve_abox_wrapper(self, database):
+        mapping = Mapping.from_pairs([("ENR(x, y, z)", "studies(x, y)")])
+        abox = retrieve_abox(mapping, database)
+        assert len(abox) == 2
+        assert abox.predicates() == {"studies"}
+        assert Atom.of("studies", "A10", "Math") in abox
+
+    def test_soundness_only_positive_facts(self, database):
+        # Sound mappings only *add* facts derived from the source; the
+        # retrieved ABox never mentions predicates without a matching row.
+        mapping = Mapping.from_pairs([("ENR(x, 'Law', z)", "studies(x, 'Law')")])
+        assert len(mapping.apply(database)) == 0

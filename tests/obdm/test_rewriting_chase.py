@@ -1,0 +1,161 @@
+"""Unit tests for PerfectRef rewriting and the ABox chase."""
+
+import pytest
+
+from repro.dl.ontology import Ontology, domain_of, range_of, subclass, subrole
+from repro.dl.parser import parse_ontology
+from repro.errors import CertainAnswerError
+from repro.obdm.chase import ChaseEngine, is_labelled_null, tuple_has_null
+from repro.obdm.rewriting import PerfectRefRewriter
+from repro.queries.atoms import Atom
+from repro.queries.evaluation import evaluate
+from repro.queries.parser import parse_cq, parse_ucq
+from repro.queries.terms import Constant
+
+
+def university_ontology() -> Ontology:
+    ontology = Ontology(role_names=("studies", "likes", "taughtIn", "locatedIn"))
+    ontology.add_axiom(subrole("studies", "likes"))
+    return ontology
+
+
+def richer_ontology() -> Ontology:
+    return parse_ontology(
+        """
+        studies [= likes
+        exists studies [= Student
+        exists studies- [= Subject
+        Undergraduate [= Student
+        Student [= exists enrolledIn
+        """,
+        role_names=("studies", "likes", "enrolledIn"),
+        concept_names=("Student", "Subject", "Undergraduate"),
+    )
+
+
+class TestPerfectRef:
+    def test_role_inclusion_rewriting(self):
+        rewriter = PerfectRefRewriter(university_ontology())
+        rewriting = rewriter.rewrite(parse_cq("q(x) :- likes(x, 'Science')"))
+        bodies = {tuple(sorted(cq.predicates())) for cq in rewriting}
+        assert ("likes",) in bodies
+        assert ("studies",) in bodies
+
+    def test_rewriting_answers_equal_certain_answers(self):
+        # Evaluating the rewriting over the raw ABox yields the extra answer.
+        rewriter = PerfectRefRewriter(university_ontology())
+        rewriting = rewriter.rewrite(parse_cq("q(x) :- likes(x, 'Science')"))
+        abox = [Atom.of("studies", "C12", "Science"), Atom.of("likes", "D50", "Science")]
+        answers = rewriting.evaluate(abox)
+        assert answers == {(Constant("C12"),), (Constant("D50"),)}
+
+    def test_domain_axiom_rewriting(self):
+        rewriter = PerfectRefRewriter(richer_ontology())
+        rewriting = rewriter.rewrite(parse_cq("q(x) :- Student(x)"))
+        abox = [Atom.of("studies", "A10", "Math")]
+        assert rewriting.evaluate(abox) == {(Constant("A10"),)}
+
+    def test_range_axiom_rewriting(self):
+        rewriter = PerfectRefRewriter(richer_ontology())
+        rewriting = rewriter.rewrite(parse_cq("q(x) :- Subject(x)"))
+        abox = [Atom.of("studies", "A10", "Math")]
+        assert rewriting.evaluate(abox) == {(Constant("Math"),)}
+
+    def test_concept_hierarchy_rewriting(self):
+        rewriter = PerfectRefRewriter(richer_ontology())
+        rewriting = rewriter.rewrite(parse_cq("q(x) :- Student(x)"))
+        abox = [Atom.of("Undergraduate", "B80")]
+        assert rewriting.evaluate(abox) == {(Constant("B80"),)}
+
+    def test_existential_rhs_rewriting_for_unbound_argument(self):
+        rewriter = PerfectRefRewriter(richer_ontology())
+        rewriting = rewriter.rewrite(parse_cq("q(x) :- enrolledIn(x, y)"))
+        abox = [Atom.of("Undergraduate", "B80")]
+        # Undergraduate ⊑ Student ⊑ exists enrolledIn, and y is unbound.
+        assert rewriting.evaluate(abox) == {(Constant("B80"),)}
+
+    def test_bound_argument_blocks_existential_rewriting(self):
+        rewriter = PerfectRefRewriter(richer_ontology())
+        rewriting = rewriter.rewrite(parse_cq("q(x, y) :- enrolledIn(x, y)"))
+        abox = [Atom.of("Undergraduate", "B80")]
+        # y is an answer variable (bound), so the existential axiom cannot
+        # produce an answer for it.
+        assert rewriting.evaluate(abox) == set()
+
+    def test_ucq_input(self):
+        rewriter = PerfectRefRewriter(university_ontology())
+        rewriting = rewriter.rewrite(
+            parse_ucq("q(x) :- likes(x, 'Math')\nq(x) :- likes(x, 'Science')")
+        )
+        assert rewriting.disjunct_count() >= 4
+
+    def test_unknown_predicate_rejected(self):
+        rewriter = PerfectRefRewriter(university_ontology())
+        with pytest.raises(CertainAnswerError):
+            rewriter.rewrite(parse_cq("q(x) :- unknownRole(x, y)"))
+
+    def test_wrong_arity_rejected(self):
+        rewriter = PerfectRefRewriter(university_ontology())
+        with pytest.raises(CertainAnswerError):
+            rewriter.rewrite(parse_cq("q(x) :- studies(x)"))
+
+    def test_rewriting_is_deduplicated(self):
+        rewriter = PerfectRefRewriter(university_ontology())
+        rewriting = rewriter.rewrite(parse_cq("q(x) :- studies(x, y)"))
+        signatures = [cq.signature() for cq in rewriting]
+        assert len(signatures) == len(set(signatures))
+
+
+class TestChase:
+    def test_role_inclusion_saturation(self):
+        engine = ChaseEngine(university_ontology())
+        chased = engine.chase([Atom.of("studies", "C12", "Science")])
+        assert Atom.of("likes", "C12", "Science") in chased
+
+    def test_concept_hierarchy_saturation(self):
+        engine = ChaseEngine(richer_ontology())
+        chased = engine.chase([Atom.of("Undergraduate", "B80")])
+        assert Atom.of("Student", "B80") in chased
+
+    def test_domain_range_saturation(self):
+        engine = ChaseEngine(richer_ontology())
+        chased = engine.chase([Atom.of("studies", "A10", "Math")])
+        assert Atom.of("Student", "A10") in chased
+        assert Atom.of("Subject", "Math") in chased
+
+    def test_existential_witness_uses_labelled_null(self):
+        engine = ChaseEngine(richer_ontology())
+        chased = engine.chase([Atom.of("Undergraduate", "B80")])
+        enrolments = [fact for fact in chased if fact.predicate == "enrolledIn"]
+        assert len(enrolments) == 1
+        assert is_labelled_null(enrolments[0].args[1])
+
+    def test_restricted_chase_does_not_duplicate_witnesses(self):
+        engine = ChaseEngine(richer_ontology())
+        chased = engine.chase(
+            [Atom.of("Undergraduate", "B80"), Atom.of("enrolledIn", "B80", "CS101")]
+        )
+        enrolments = [fact for fact in chased if fact.predicate == "enrolledIn"]
+        # B80 already has an enrolledIn filler, so no null witness is added.
+        assert enrolments == [Atom.of("enrolledIn", "B80", "CS101")]
+
+    def test_cyclic_ontology_terminates(self):
+        cyclic = parse_ontology(
+            "Person [= exists hasParent\nexists hasParent- [= Person",
+            concept_names=("Person",),
+            role_names=("hasParent",),
+        )
+        engine = ChaseEngine(cyclic, max_depth=3)
+        chased = engine.chase([Atom.of("Person", "alice")])
+        parents = [fact for fact in chased if fact.predicate == "hasParent"]
+        assert 1 <= len(parents) <= 3
+
+    def test_tuple_has_null(self):
+        assert tuple_has_null((Constant("_:null0"),))
+        assert not tuple_has_null((Constant("Rome"),))
+
+    def test_chase_preserves_original_facts(self):
+        engine = ChaseEngine(university_ontology())
+        original = [Atom.of("studies", "A10", "Math")]
+        chased = engine.chase(original)
+        assert set(original) <= set(chased)

@@ -1,0 +1,127 @@
+"""Unit tests for source schemas and S-databases."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownRelationError
+from repro.obdm.database import SourceDatabase
+from repro.obdm.schema import RelationSignature, SourceSchema
+from repro.queries.atoms import Atom
+from repro.queries.terms import Constant
+from repro.sql.catalog import Catalog
+
+
+class TestSourceSchema:
+    def test_declare_and_lookup(self):
+        schema = SourceSchema(name="S")
+        schema.declare("ENR", ("student", "subject", "university"))
+        assert schema.arity_of("ENR") == 3
+        assert schema.has_relation("ENR")
+
+    def test_declare_arity(self):
+        schema = SourceSchema()
+        signature = schema.declare_arity("R", 2)
+        assert signature.attributes == ("a1", "a2")
+
+    def test_conflicting_declaration_rejected(self):
+        schema = SourceSchema()
+        schema.declare("R", ("a", "b"))
+        with pytest.raises(SchemaError):
+            schema.declare("R", ("x", "y", "z"))
+
+    def test_idempotent_redeclaration(self):
+        schema = SourceSchema()
+        schema.declare("R", ("a", "b"))
+        schema.declare("R", ("a", "b"))
+        assert len(schema) == 1
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnknownRelationError):
+            SourceSchema().relation("NOPE")
+
+    def test_catalog_roundtrip(self):
+        schema = SourceSchema(name="S")
+        schema.declare("LOC", ("university", "city"))
+        catalog = schema.to_catalog()
+        assert catalog.has_relation("LOC")
+        assert SourceSchema.from_catalog(catalog).arity_of("LOC") == 2
+
+
+class TestSourceDatabase:
+    def build(self):
+        schema = SourceSchema(name="S")
+        schema.declare("STUD", ("student",))
+        schema.declare("ENR", ("student", "subject", "university"))
+        database = SourceDatabase(schema, name="D")
+        database.add("STUD", "A10")
+        database.add("ENR", "A10", "Math", "TV")
+        database.add("ENR", "B80", "Math", "Sap")
+        return database
+
+    def test_add_and_len(self):
+        database = self.build()
+        assert len(database) == 3
+        assert Atom.of("ENR", "A10", "Math", "TV") in database
+
+    def test_duplicate_fact_ignored(self):
+        database = self.build()
+        database.add("STUD", "A10")
+        assert len(database) == 3
+
+    def test_strict_schema_enforced(self):
+        database = self.build()
+        with pytest.raises(UnknownRelationError):
+            database.add("UNKNOWN", "x")
+        with pytest.raises(SchemaError):
+            database.add("STUD", "A10", "extra")
+
+    def test_non_ground_fact_rejected(self):
+        database = self.build()
+        with pytest.raises(SchemaError):
+            database.add_fact(Atom.of("STUD", "?x"))
+
+    def test_non_strict_autodeclares(self):
+        database = SourceDatabase(strict=False)
+        database.add("NEW", 1, 2)
+        assert database.schema.arity_of("NEW") == 2
+
+    def test_domain(self):
+        database = self.build()
+        assert Constant("Math") in database.domain()
+        assert "Math" in database.domain_values()
+
+    def test_facts_with_constant_index(self):
+        database = self.build()
+        facts = database.facts_with_constant("A10")
+        assert facts == {Atom.of("STUD", "A10"), Atom.of("ENR", "A10", "Math", "TV")}
+
+    def test_facts_with_predicate(self):
+        database = self.build()
+        assert len(database.facts_with_predicate("ENR")) == 2
+
+    def test_restrict_to(self):
+        database = self.build()
+        subset = database.restrict_to([Atom.of("STUD", "A10")])
+        assert len(subset) == 1
+
+    def test_restrict_to_unknown_fact_rejected(self):
+        database = self.build()
+        with pytest.raises(SchemaError):
+            database.restrict_to([Atom.of("STUD", "Z99")])
+
+    def test_catalog_roundtrip(self):
+        database = self.build()
+        catalog = database.to_catalog()
+        assert catalog.row_count() == 3
+        rebuilt = SourceDatabase.from_catalog(catalog)
+        assert rebuilt.facts == database.facts
+
+    def test_from_rows(self):
+        database = SourceDatabase.from_rows({"LOC": [("Sap", "Rome"), ("Pol", "Milan")]})
+        assert len(database) == 2
+
+    def test_copy_is_independent(self):
+        database = self.build()
+        duplicate = database.copy()
+        duplicate.add("STUD", "C12")
+        assert len(database) == 3
+        assert len(duplicate) == 4

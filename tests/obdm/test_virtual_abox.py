@@ -1,0 +1,47 @@
+"""Unit tests for virtual ABox retrieval and the errors module."""
+
+import pytest
+
+from repro import errors
+from repro.obdm.virtual_abox import VirtualABox, retrieve_abox
+from repro.ontologies.university import build_university_database, build_university_mapping
+from repro.queries.atoms import Atom
+
+
+class TestVirtualABox:
+    def test_retrieval_from_paper_mapping(self):
+        abox = retrieve_abox(build_university_mapping(), build_university_database())
+        # 5 studies facts + 5 taughtIn facts (one per enrolment, deduplicated)
+        # + 3 locatedIn facts.
+        assert len(abox) == 13
+        assert Atom.of("taughtIn", "Math", "TV") in abox
+
+    def test_index_reuse(self):
+        abox = retrieve_abox(build_university_mapping(), build_university_database())
+        assert abox.index is abox.index  # cached
+
+    def test_iteration_sorted_and_str(self):
+        abox = VirtualABox([Atom.of("B", "b"), Atom.of("A", "a")], source_name="D")
+        assert [fact.predicate for fact in abox] == ["A", "B"]
+        assert "2 facts" in str(abox)
+
+    def test_predicates(self):
+        abox = VirtualABox([Atom.of("A", "a"), Atom.of("B", "b")])
+        assert abox.predicates() == {"A", "B"}
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, errors.ReproError)
+
+    def test_search_budget_carries_partial_result(self):
+        exception = errors.SearchBudgetExceeded("too slow", best_so_far="q")
+        assert exception.best_so_far == "q"
+
+    def test_specific_subclassing(self):
+        assert issubclass(errors.QueryParseError, errors.QueryError)
+        assert issubclass(errors.CertainAnswerError, errors.OBDMError)
+        assert issubclass(errors.CriterionError, errors.ExplanationError)

@@ -1,0 +1,130 @@
+"""Unit tests for conjunctive queries."""
+
+import pytest
+
+from repro.errors import QueryArityError, UnsafeQueryError
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery, freeze
+from repro.queries.parser import parse_cq
+from repro.queries.terms import Constant, Variable
+
+
+def cq(text):
+    return parse_cq(text)
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        query = ConjunctiveQuery.of(["?x"], [Atom.of("studies", "?x", "Math")])
+        assert query.arity == 1
+        assert query.atom_count() == 1
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(UnsafeQueryError):
+            ConjunctiveQuery.of(["?x"], [Atom.of("studies", "?y", "Math")])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryArityError):
+            ConjunctiveQuery.of(["?x"], [])
+
+    def test_constant_in_head_rejected(self):
+        with pytest.raises(QueryArityError):
+            ConjunctiveQuery((Constant("a"),), (Atom.of("R", "a"),))
+
+    def test_boolean_query_allowed(self):
+        query = ConjunctiveQuery((), (Atom.of("R", "a"),))
+        assert query.is_boolean()
+
+
+class TestAccessors:
+    def test_variables_and_existentials(self):
+        query = cq("q(x) :- studies(x, y), taughtIn(y, z)")
+        assert query.variables() == {Variable("x"), Variable("y"), Variable("z")}
+        assert query.existential_variables() == {Variable("y"), Variable("z")}
+
+    def test_constants_and_predicates(self):
+        query = cq("q(x) :- locatedIn(x, 'Rome'), studies(x, y)")
+        assert query.constants() == {Constant("Rome")}
+        assert query.predicates() == {"locatedIn", "studies"}
+
+    def test_atom_count_matches_delta5(self):
+        assert cq("q(x) :- studies(x, 'Math')").atom_count() == 1
+        assert cq("q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, 'Rome')").atom_count() == 3
+
+
+class TestBoundness:
+    def test_answer_variable_is_bound(self):
+        query = cq("q(x) :- studies(x, y)")
+        assert query.is_bound(Variable("x"))
+
+    def test_single_occurrence_existential_is_unbound(self):
+        query = cq("q(x) :- studies(x, y)")
+        assert not query.is_bound(Variable("y"))
+
+    def test_shared_existential_is_bound(self):
+        query = cq("q(x) :- studies(x, y), taughtIn(y, z)")
+        assert query.is_bound(Variable("y"))
+        assert not query.is_bound(Variable("z"))
+
+    def test_constant_is_bound(self):
+        query = cq("q(x) :- studies(x, 'Math')")
+        assert query.is_bound(Constant("Math"))
+
+
+class TestOperations:
+    def test_apply_substitution(self):
+        query = cq("q(x) :- studies(x, y)")
+        substituted = query.apply({Variable("y"): Constant("Math")})
+        assert substituted.body[0] == Atom.of("studies", "?x", "Math")
+
+    def test_apply_cannot_bind_answer_variable_to_constant(self):
+        query = cq("q(x) :- studies(x, y)")
+        with pytest.raises(QueryArityError):
+            query.apply({Variable("x"): Constant("A10")})
+
+    def test_apply_cannot_merge_answer_variables(self):
+        query = cq("q(x, y) :- studies(x, y)")
+        with pytest.raises(QueryArityError):
+            query.apply({Variable("x"): Variable("y")})
+
+    def test_add_atoms(self):
+        query = cq("q(x) :- studies(x, y)")
+        extended = query.add_atoms([Atom.of("taughtIn", "?y", "?z")])
+        assert extended.atom_count() == 2
+
+    def test_rename_apart_preserves_structure(self):
+        query = cq("q(x) :- studies(x, y), taughtIn(y, z)")
+        renamed = query.rename_apart()
+        assert renamed.atom_count() == query.atom_count()
+        assert renamed.variables().isdisjoint(query.variables()) or renamed.variables() != query.variables()
+        assert renamed.signature() == query.signature()
+
+
+class TestCanonicalForm:
+    def test_alpha_equivalent_queries_share_signature(self):
+        first = cq("q(x) :- studies(x, y), taughtIn(y, z)")
+        second = cq("q(a) :- studies(a, b), taughtIn(b, c)")
+        assert first.signature() == second.signature()
+
+    def test_atom_order_does_not_matter(self):
+        first = cq("q(x) :- studies(x, y), taughtIn(y, z)")
+        second = cq("q(x) :- taughtIn(y, z), studies(x, y)")
+        assert first.signature() == second.signature()
+
+    def test_different_queries_differ(self):
+        first = cq("q(x) :- studies(x, 'Math')")
+        second = cq("q(x) :- studies(x, 'Science')")
+        assert first.signature() != second.signature()
+
+
+class TestFreeze:
+    def test_freeze_produces_ground_atoms(self):
+        query = cq("q(x) :- studies(x, y), locatedIn(y, 'Rome')")
+        frozen_body, frozen_head = freeze(query)
+        assert all(atom.is_ground() for atom in frozen_body)
+        assert len(frozen_head) == 1
+
+    def test_freeze_keeps_constants(self):
+        query = cq("q(x) :- locatedIn(x, 'Rome')")
+        frozen_body, _ = freeze(query)
+        assert Constant("Rome") in frozen_body[0].constants()

@@ -1,0 +1,115 @@
+"""Unit tests for CQ evaluation (homomorphism search) and the fact index."""
+
+import pytest
+
+from repro.queries.atoms import Atom
+from repro.queries.evaluation import FactIndex, contains_tuple, evaluate, holds, iter_homomorphisms
+from repro.queries.parser import parse_cq
+from repro.queries.terms import Constant, Variable
+
+FACTS = [
+    Atom.of("studies", "A10", "Math"),
+    Atom.of("studies", "B80", "Math"),
+    Atom.of("studies", "C12", "Science"),
+    Atom.of("taughtIn", "Math", "TV"),
+    Atom.of("taughtIn", "Science", "Norm"),
+    Atom.of("locatedIn", "TV", "Rome"),
+]
+
+
+class TestEvaluate:
+    def test_single_atom_query(self):
+        query = parse_cq("q(x) :- studies(x, 'Math')")
+        answers = evaluate(query, FACTS)
+        assert answers == {(Constant("A10"),), (Constant("B80"),)}
+
+    def test_join_query(self):
+        query = parse_cq("q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, 'Rome')")
+        answers = evaluate(query, FACTS)
+        assert answers == {(Constant("A10"),), (Constant("B80"),)}
+
+    def test_no_answers(self):
+        query = parse_cq("q(x) :- studies(x, 'History')")
+        assert evaluate(query, FACTS) == set()
+
+    def test_binary_head(self):
+        query = parse_cq("q(x, y) :- studies(x, y)")
+        answers = evaluate(query, FACTS)
+        assert (Constant("C12"), Constant("Science")) in answers
+        assert len(answers) == 3
+
+    def test_repeated_variable_join(self):
+        facts = [Atom.of("R", "a", "a"), Atom.of("R", "a", "b")]
+        query = parse_cq("q(x) :- R(x, x)")
+        assert evaluate(query, facts) == {(Constant("a"),)}
+
+
+class TestHolds:
+    def test_boolean_satisfied(self):
+        query = parse_cq("q(x) :- locatedIn(x, 'Rome')")
+        assert holds(query, FACTS)
+
+    def test_boolean_unsatisfied(self):
+        query = parse_cq("q(x) :- locatedIn(x, 'Milan')")
+        assert not holds(query, FACTS)
+
+
+class TestContainsTuple:
+    def test_positive_membership(self):
+        query = parse_cq("q(x) :- studies(x, y), taughtIn(y, z)")
+        assert contains_tuple(query, (Constant("A10"),), FACTS)
+
+    def test_negative_membership(self):
+        query = parse_cq("q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, 'Rome')")
+        assert not contains_tuple(query, (Constant("C12"),), FACTS)
+
+    def test_wrong_arity_is_false(self):
+        query = parse_cq("q(x) :- studies(x, y)")
+        assert not contains_tuple(query, (Constant("A10"), Constant("Math")), FACTS)
+
+    def test_unknown_constant_is_false(self):
+        query = parse_cq("q(x) :- studies(x, y)")
+        assert not contains_tuple(query, (Constant("Z99"),), FACTS)
+
+
+class TestFactIndex:
+    def test_candidates_by_predicate(self):
+        index = FactIndex(FACTS)
+        assert len(index.candidates(Atom.of("studies", "?x", "?y"))) == 3
+
+    def test_candidates_narrowed_by_constant(self):
+        index = FactIndex(FACTS)
+        narrowed = index.candidates(Atom.of("studies", "?x", "Math"))
+        assert narrowed == {Atom.of("studies", "A10", "Math"), Atom.of("studies", "B80", "Math")}
+
+    def test_candidates_unknown_predicate(self):
+        index = FactIndex(FACTS)
+        assert index.candidates(Atom.of("unknown", "?x")) == set()
+
+    def test_candidates_unknown_constant(self):
+        index = FactIndex(FACTS)
+        assert index.candidates(Atom.of("studies", "?x", "History")) == set()
+
+    def test_len_and_contains(self):
+        index = FactIndex(FACTS)
+        assert len(index) == len(FACTS)
+        assert Atom.of("locatedIn", "TV", "Rome") in index
+
+    def test_reuse_across_queries(self):
+        index = FactIndex(FACTS)
+        q1 = parse_cq("q(x) :- studies(x, 'Math')")
+        q2 = parse_cq("q(x) :- studies(x, 'Science')")
+        assert len(evaluate(q1, (), index=index)) == 2
+        assert len(evaluate(q2, (), index=index)) == 1
+
+
+class TestIterHomomorphisms:
+    def test_number_of_homomorphisms(self):
+        query = parse_cq("q(x) :- studies(x, y)")
+        homomorphisms = list(iter_homomorphisms(query, FACTS))
+        assert len(homomorphisms) == 3
+
+    def test_homomorphism_binds_all_variables(self):
+        query = parse_cq("q(x) :- studies(x, y), taughtIn(y, z)")
+        for homomorphism in iter_homomorphisms(query, FACTS):
+            assert set(homomorphism) >= {Variable("x"), Variable("y"), Variable("z")}

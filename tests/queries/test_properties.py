@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for the query substrate.
+
+Invariants exercised:
+
+* canonical signatures are invariant under variable renaming and body
+  reordering;
+* every CQ is contained in (and equivalent to) itself, and containment
+  is transitive on random chains built by atom addition;
+* evaluation answers are always tuples of constants drawn from the fact
+  set, and adding facts never removes answers (monotonicity of CQs).
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.queries.atoms import Atom
+from repro.queries.containment import are_equivalent, is_contained_in
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.evaluation import evaluate
+from repro.queries.terms import Constant, Variable
+
+PREDICATES = ["R", "S", "T"]
+CONSTANT_VALUES = ["a", "b", "c", "d"]
+VARIABLE_NAMES = ["x", "y", "z", "w"]
+
+
+@st.composite
+def ground_atoms(draw):
+    predicate = draw(st.sampled_from(PREDICATES))
+    first = draw(st.sampled_from(CONSTANT_VALUES))
+    second = draw(st.sampled_from(CONSTANT_VALUES))
+    return Atom.of(predicate, first, second)
+
+
+@st.composite
+def query_atoms(draw):
+    predicate = draw(st.sampled_from(PREDICATES))
+    def term(name_pool):
+        if draw(st.booleans()):
+            return Variable(draw(st.sampled_from(VARIABLE_NAMES)))
+        return Constant(draw(st.sampled_from(CONSTANT_VALUES)))
+    return Atom(predicate, (term(VARIABLE_NAMES), term(VARIABLE_NAMES)))
+
+
+@st.composite
+def conjunctive_queries(draw):
+    """Random safe unary CQs whose answer variable is always x."""
+    body_size = draw(st.integers(min_value=1, max_value=3))
+    atoms = [draw(query_atoms()) for _ in range(body_size)]
+    anchor_predicate = draw(st.sampled_from(PREDICATES))
+    other = draw(st.sampled_from(VARIABLE_NAMES))
+    atoms.append(Atom(anchor_predicate, (Variable("x"), Variable(other))))
+    return ConjunctiveQuery((Variable("x"),), tuple(atoms))
+
+
+@st.composite
+def fact_sets(draw):
+    size = draw(st.integers(min_value=0, max_value=12))
+    return frozenset(draw(ground_atoms()) for _ in range(size))
+
+
+@settings(max_examples=60, deadline=None)
+@given(conjunctive_queries())
+def test_signature_invariant_under_renaming(query):
+    renamed = query.rename_apart()
+    assert renamed.signature() == query.signature()
+
+
+@settings(max_examples=60, deadline=None)
+@given(conjunctive_queries())
+def test_signature_invariant_under_body_reordering(query):
+    reordered = query.with_body(tuple(reversed(query.body)))
+    assert reordered.signature() == query.signature()
+
+
+@settings(max_examples=40, deadline=None)
+@given(conjunctive_queries())
+def test_every_query_contained_in_itself(query):
+    assert is_contained_in(query, query)
+    assert are_equivalent(query, query)
+
+
+@settings(max_examples=40, deadline=None)
+@given(conjunctive_queries(), query_atoms())
+def test_adding_an_atom_specialises(query, atom):
+    extended = query.add_atoms((atom,))
+    assert is_contained_in(extended, query)
+
+
+@settings(max_examples=40, deadline=None)
+@given(conjunctive_queries(), fact_sets())
+def test_answers_are_constant_tuples_from_facts(query, facts):
+    answers = evaluate(query, facts)
+    domain = set()
+    for fact in facts:
+        domain |= fact.constants()
+    for answer in answers:
+        assert len(answer) == query.arity
+        for value in answer:
+            assert isinstance(value, Constant)
+            assert value in domain
+
+
+@settings(max_examples=40, deadline=None)
+@given(conjunctive_queries(), fact_sets(), fact_sets())
+def test_evaluation_is_monotone_in_facts(query, facts, more_facts):
+    small = evaluate(query, facts)
+    large = evaluate(query, facts | more_facts)
+    assert small <= large
+
+
+@settings(max_examples=40, deadline=None)
+@given(conjunctive_queries(), fact_sets())
+def test_equivalent_queries_have_equal_answers(query, facts):
+    renamed = query.rename_apart()
+    assert evaluate(query, facts) == evaluate(renamed, facts)

@@ -1,0 +1,89 @@
+"""Unit tests for the datalog-style query parser."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.parser import parse_cq, parse_query, parse_ucq
+from repro.queries.terms import Constant, Variable
+from repro.queries.ucq import UnionOfConjunctiveQueries
+
+
+class TestParseCQ:
+    def test_paper_query_q1(self):
+        query = parse_cq("q1(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, 'Rome')")
+        assert query.name == "q1"
+        assert query.arity == 1
+        assert query.atom_count() == 3
+        assert Constant("Rome") in query.constants()
+
+    def test_quoted_strings_are_constants(self):
+        query = parse_cq("q(x) :- studies(x, 'Math')")
+        assert Constant("Math") in query.constants()
+
+    def test_double_quotes_supported(self):
+        query = parse_cq('q(x) :- studies(x, "Math")')
+        assert Constant("Math") in query.constants()
+
+    def test_uppercase_names_are_constants(self):
+        query = parse_cq("q(x) :- locatedIn(x, Rome)")
+        assert Constant("Rome") in query.constants()
+
+    def test_numbers_are_constants(self):
+        query = parse_cq("q(x) :- age(x, 42), score(x, 3.5)")
+        assert Constant(42) in query.constants()
+        assert Constant(3.5) in query.constants()
+
+    def test_lowercase_names_are_variables(self):
+        query = parse_cq("q(x) :- studies(x, y)")
+        assert query.variables() == {Variable("x"), Variable("y")}
+
+    def test_alternative_arrow(self):
+        query = parse_cq("q(x) <- studies(x, y)")
+        assert query.atom_count() == 1
+
+    def test_constant_in_head_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_cq("q(Rome) :- locatedIn(x, Rome)")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_cq("q(x) studies(x, y)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_cq("q(x) :- studies(x, y) garbage")
+
+    def test_unbalanced_parenthesis_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_cq("q(x) :- studies(x, y")
+
+
+class TestParseUCQ:
+    def test_newline_separated(self):
+        ucq = parse_ucq("q(x) :- studies(x, 'Math')\nq(x) :- likes(x, 'Science')")
+        assert ucq.disjunct_count() == 2
+
+    def test_semicolon_separated(self):
+        ucq = parse_ucq("q(x) :- R(x, y); q(x) :- S(x, y)")
+        assert ucq.disjunct_count() == 2
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_ucq("   \n  ")
+
+
+class TestParseQuery:
+    def test_single_rule_gives_cq(self):
+        assert isinstance(parse_query("q(x) :- R(x, y)"), ConjunctiveQuery)
+
+    def test_multiple_rules_give_ucq(self):
+        parsed = parse_query("q(x) :- R(x, y)\nq(x) :- S(x, y)")
+        assert isinstance(parsed, UnionOfConjunctiveQueries)
+
+    def test_roundtrip_through_str(self):
+        query = parse_cq("q(x) :- studies(x, y), locatedIn(y, 'Rome')")
+        # The rendered form is not re-parseable verbatim (it uses ?x), but it
+        # must mention every predicate.
+        rendered = str(query)
+        assert "studies" in rendered and "locatedIn" in rendered

@@ -1,0 +1,98 @@
+"""Unit tests for query terms (variables, constants, factories)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.queries.terms import (
+    Constant,
+    Variable,
+    VariableFactory,
+    is_constant,
+    is_variable,
+    make_term,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_str(self):
+        assert str(Variable("x")) == "x"
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant("Rome") == Constant("Rome")
+        assert Constant(1) != Constant("1")
+
+    def test_hashable(self):
+        assert len({Constant(1), Constant(1), Constant(2)}) == 2
+
+    def test_str(self):
+        assert str(Constant("Rome")) == "Rome"
+        assert str(Constant(3)) == "3"
+
+    def test_numeric_and_string_values(self):
+        assert Constant(3.5).value == 3.5
+        assert Constant(True).value is True
+
+
+class TestOrdering:
+    def test_constants_sort_before_variables(self):
+        assert Constant("z") < Variable("a")
+        assert not Variable("a") < Constant("z")
+
+    def test_mixed_value_types_sort_deterministically(self):
+        values = [Constant("b"), Constant(2), Constant(1), Constant("a")]
+        assert sorted(values) == sorted(values)  # no TypeError
+        assert sorted(values)[0] in values
+
+    def test_variables_sort_by_name(self):
+        assert Variable("a") < Variable("b")
+
+
+class TestMakeTerm:
+    def test_question_mark_prefix_is_variable(self):
+        assert make_term("?x") == Variable("x")
+
+    def test_plain_string_is_constant(self):
+        assert make_term("Rome") == Constant("Rome")
+
+    def test_existing_terms_pass_through(self):
+        variable = Variable("x")
+        constant = Constant(5)
+        assert make_term(variable) is variable
+        assert make_term(constant) is constant
+
+    def test_numbers_become_constants(self):
+        assert make_term(7) == Constant(7)
+
+
+class TestVariableFactory:
+    def test_fresh_variables_are_distinct(self):
+        factory = VariableFactory()
+        generated = {factory.fresh() for _ in range(10)}
+        assert len(generated) == 10
+
+    def test_reserved_names_are_skipped(self):
+        factory = VariableFactory(reserved=[Variable("_v0"), Variable("_v1")])
+        fresh = factory.fresh()
+        assert fresh.name not in {"_v0", "_v1"}
+
+    def test_reserve_after_creation(self):
+        factory = VariableFactory()
+        factory.reserve([Variable("_v0")])
+        assert factory.fresh().name != "_v0"
+
+    def test_custom_prefix(self):
+        factory = VariableFactory(prefix="z")
+        assert factory.fresh().name.startswith("z")

@@ -1,0 +1,132 @@
+"""Unit tests for UCQs and for CQ/UCQ containment."""
+
+import pytest
+
+from repro.errors import QueryArityError
+from repro.queries.atoms import Atom
+from repro.queries.containment import (
+    are_equivalent,
+    core_of,
+    deduplicate_queries,
+    is_contained_in,
+    ucq_are_equivalent,
+    ucq_is_contained_in,
+)
+from repro.queries.parser import parse_cq, parse_ucq
+from repro.queries.terms import Constant
+from repro.queries.ucq import UnionOfConjunctiveQueries
+
+
+class TestUCQConstruction:
+    def test_mixed_arities_rejected(self):
+        q1 = parse_cq("q(x) :- R(x, y)")
+        q2 = parse_cq("q(x, y) :- R(x, y)")
+        with pytest.raises(QueryArityError):
+            UnionOfConjunctiveQueries((q1, q2))
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(QueryArityError):
+            UnionOfConjunctiveQueries(())
+
+    def test_counts(self):
+        ucq = parse_ucq("q(x) :- R(x, y)\nq(x) :- S(x, y), T(y, z)")
+        assert ucq.disjunct_count() == 2
+        assert ucq.atom_count() == 3
+
+    def test_single_wrapper(self):
+        cq = parse_cq("q(x) :- R(x, y)")
+        assert UnionOfConjunctiveQueries.single(cq).disjunct_count() == 1
+
+
+class TestUCQEvaluation:
+    FACTS = [
+        Atom.of("studies", "A10", "Math"),
+        Atom.of("likes", "C12", "Science"),
+    ]
+
+    def test_union_of_answers(self):
+        ucq = parse_ucq("q(x) :- studies(x, 'Math')\nq(x) :- likes(x, 'Science')")
+        answers = ucq.evaluate(self.FACTS)
+        assert answers == {(Constant("A10"),), (Constant("C12"),)}
+
+    def test_contains_tuple(self):
+        ucq = parse_ucq("q(x) :- studies(x, 'Math')\nq(x) :- likes(x, 'Science')")
+        assert ucq.contains_tuple((Constant("C12"),), self.FACTS)
+        assert not ucq.contains_tuple((Constant("Z99"),), self.FACTS)
+
+    def test_deduplicated(self):
+        ucq = parse_ucq("q(x) :- studies(x, y)\nq(a) :- studies(a, b)")
+        assert ucq.deduplicated().disjunct_count() == 1
+
+    def test_minimized_removes_subsumed_disjunct(self):
+        # studies(x,'Math') is contained in studies(x,y): the union collapses.
+        ucq = parse_ucq("q(x) :- studies(x, y)\nq(x) :- studies(x, 'Math')")
+        assert ucq.minimized().disjunct_count() == 1
+
+
+class TestCQContainment:
+    def test_more_specific_is_contained(self):
+        specific = parse_cq("q(x) :- studies(x, 'Math')")
+        general = parse_cq("q(x) :- studies(x, y)")
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_extra_atom_means_contained(self):
+        longer = parse_cq("q(x) :- studies(x, y), taughtIn(y, z)")
+        shorter = parse_cq("q(x) :- studies(x, y)")
+        assert is_contained_in(longer, shorter)
+        assert not is_contained_in(shorter, longer)
+
+    def test_equivalence_up_to_renaming(self):
+        first = parse_cq("q(x) :- studies(x, y), taughtIn(y, z)")
+        second = parse_cq("q(a) :- taughtIn(b, c), studies(a, b)")
+        assert are_equivalent(first, second)
+
+    def test_different_arity_not_contained(self):
+        unary = parse_cq("q(x) :- R(x, y)")
+        binary = parse_cq("q(x, y) :- R(x, y)")
+        assert not is_contained_in(unary, binary)
+
+    def test_redundant_atom_equivalence(self):
+        redundant = parse_cq("q(x) :- studies(x, y), studies(x, z)")
+        minimal = parse_cq("q(x) :- studies(x, y)")
+        assert are_equivalent(redundant, minimal)
+
+
+class TestCore:
+    def test_core_removes_redundant_atom(self):
+        redundant = parse_cq("q(x) :- studies(x, y), studies(x, z)")
+        assert core_of(redundant).atom_count() == 1
+
+    def test_core_keeps_necessary_atoms(self):
+        query = parse_cq("q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, 'Rome')")
+        assert core_of(query).atom_count() == 3
+
+    def test_core_is_equivalent(self):
+        query = parse_cq("q(x) :- studies(x, y), studies(x, 'Math')")
+        assert are_equivalent(core_of(query), query)
+
+
+class TestUCQContainment:
+    def test_subset_union_is_contained(self):
+        small = parse_ucq("q(x) :- studies(x, 'Math')")
+        big = parse_ucq("q(x) :- studies(x, 'Math')\nq(x) :- likes(x, 'Science')")
+        assert ucq_is_contained_in(small, big)
+        assert not ucq_is_contained_in(big, small)
+
+    def test_equivalence_after_reordering(self):
+        first = parse_ucq("q(x) :- R(x, y)\nq(x) :- S(x, y)")
+        second = parse_ucq("q(x) :- S(x, y)\nq(x) :- R(x, y)")
+        assert ucq_are_equivalent(first, second)
+
+
+class TestDeduplicateQueries:
+    def test_semantic_duplicates_removed(self):
+        queries = [
+            parse_cq("q(x) :- studies(x, y)"),
+            parse_cq("q(a) :- studies(a, b)"),
+            parse_cq("q(x) :- studies(x, y), studies(x, z)"),
+            parse_cq("q(x) :- likes(x, y)"),
+        ]
+        unique = deduplicate_queries(queries)
+        assert len(unique) == 2

@@ -1,0 +1,138 @@
+"""Unit tests for relational algebra, the mini SQL parser and the executor."""
+
+import pytest
+
+from repro.errors import QueryParseError, SchemaError
+from repro.queries.parser import parse_cq
+from repro.sql.algebra import Condition, CrossProduct, Project, Rename, Scan, Select, Union, natural_join
+from repro.sql.catalog import Catalog
+from repro.sql.executor import Executor
+from repro.sql.sql_parser import parse_sql, sql_to_algebra
+
+
+@pytest.fixture()
+def catalog():
+    catalog = Catalog("uni")
+    catalog.create_relation("ENR", ("student", "subject", "university"))
+    catalog.create_relation("LOC", ("university", "city"))
+    catalog.insert_all(
+        "ENR",
+        [
+            ("A10", "Math", "TV"),
+            ("B80", "Math", "Sap"),
+            ("C12", "Science", "Norm"),
+            ("D50", "Science", "TV"),
+            ("E25", "Math", "Pol"),
+        ],
+    )
+    catalog.insert_all("LOC", [("Sap", "Rome"), ("TV", "Rome"), ("Pol", "Milan")])
+    return catalog
+
+
+class TestAlgebra:
+    def test_scan_prefixes_attributes(self, catalog):
+        relation = Scan("ENR", "e").evaluate(catalog)
+        assert relation.schema.attributes == ("e.student", "e.subject", "e.university")
+        assert len(relation) == 5
+
+    def test_select_with_constant(self, catalog):
+        node = Select(Scan("LOC", "l"), (Condition("l.city", "Rome"),))
+        assert len(node.evaluate(catalog)) == 2
+
+    def test_project(self, catalog):
+        node = Project(Scan("ENR", "e"), ("e.subject",))
+        assert node.evaluate(catalog).rows == {("Math",), ("Science",)}
+
+    def test_cross_product_and_join_condition(self, catalog):
+        product = CrossProduct(Scan("ENR", "e"), Scan("LOC", "l"))
+        joined = Select(product, (Condition("e.university", "l.university", True, True),))
+        relation = joined.evaluate(catalog)
+        # Norm (C12's university) has no LOC row, so only 4 enrolments join.
+        assert len(relation) == 4
+
+    def test_union(self, catalog):
+        left = Project(Scan("ENR", "e"), ("e.student",))
+        right = Project(Scan("LOC", "l"), ("l.university",))
+        assert len(Union(left, right).evaluate(catalog)) == 8
+
+    def test_union_arity_mismatch(self, catalog):
+        left = Scan("ENR", "e")
+        right = Scan("LOC", "l")
+        with pytest.raises(SchemaError):
+            Union(left, right).evaluate(catalog)
+
+    def test_rename(self, catalog):
+        node = Rename(Project(Scan("LOC", "l"), ("l.city",)), ("city_name",))
+        assert node.evaluate(catalog).schema.attributes == ("city_name",)
+
+    def test_ambiguous_bare_attribute(self, catalog):
+        product = CrossProduct(Scan("LOC", "a"), Scan("LOC", "b"))
+        with pytest.raises(SchemaError):
+            Select(product, (Condition("city", "Rome"),)).evaluate(catalog)
+
+    def test_natural_join(self, catalog):
+        relation = natural_join(Scan("ENR", "e"), Scan("LOC", "l"), catalog)
+        # Join on the shared bare attribute name 'university'; Norm has no LOC row.
+        assert len(relation) == 4
+
+
+class TestSqlParser:
+    def test_parse_shape(self):
+        parsed = parse_sql(
+            "SELECT e.student FROM ENR AS e, LOC AS l "
+            "WHERE e.university = l.university AND l.city = 'Rome'"
+        )
+        assert parsed.select_list == ("e.student",)
+        assert parsed.from_list == (("ENR", "e"), ("LOC", "l"))
+        assert len(parsed.conditions) == 2
+
+    def test_execution_of_join(self, catalog):
+        rows = Executor(catalog).execute(
+            "SELECT e.student FROM ENR AS e, LOC AS l "
+            "WHERE e.university = l.university AND l.city = 'Rome'"
+        )
+        assert sorted(rows) == [("A10",), ("B80",), ("D50",)]
+
+    def test_select_star(self, catalog):
+        rows = Executor(catalog).execute("SELECT * FROM LOC")
+        assert len(rows) == 3
+
+    def test_numeric_and_boolean_literals(self):
+        parsed = parse_sql("SELECT r.a FROM R AS r WHERE r.b = 3 AND r.c = TRUE")
+        values = [condition.right for condition in parsed.conditions]
+        assert 3 in values and True in values
+
+    def test_alias_without_as(self, catalog):
+        rows = Executor(catalog).execute("SELECT l.city FROM LOC l WHERE l.city = 'Milan'")
+        assert rows == [("Milan",)]
+
+    def test_parse_errors(self):
+        with pytest.raises(QueryParseError):
+            parse_sql("SELECT FROM R")
+        with pytest.raises(QueryParseError):
+            parse_sql("SELECT a FROM R WHERE")
+        with pytest.raises(QueryParseError):
+            parse_sql("SELECT a FROM R extra stuff !!!")
+
+
+class TestExecutor:
+    def test_cq_source_query(self, catalog):
+        rows = Executor(catalog).execute(parse_cq("m(x, y) :- ENR(x, y, z)"))
+        assert ("A10", "Math") in rows
+        assert len(rows) == 5
+
+    def test_algebra_source_query(self, catalog):
+        rows = Executor(catalog).execute(Project(Scan("LOC", "l"), ("l.city",)))
+        assert sorted(rows) == [("Milan",), ("Rome",)]
+
+    def test_invalidate_after_update(self, catalog):
+        executor = Executor(catalog)
+        before = executor.execute(parse_cq("m(x) :- LOC(x, y)"))
+        catalog.insert("LOC", ("Norm", "Pisa"))
+        executor.invalidate()
+        after = executor.execute(parse_cq("m(x) :- LOC(x, y)"))
+        assert len(after) == len(before) + 1
+
+    def test_unsupported_source_type(self, catalog):
+        with pytest.raises(SchemaError):
+            Executor(catalog).execute(42)  # type: ignore[arg-type]

@@ -1,0 +1,117 @@
+"""Unit tests for relations and catalogs (the relational data layer)."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownRelationError
+from repro.queries.atoms import Atom
+from repro.sql.catalog import Catalog
+from repro.sql.relation import Relation, RelationSchema
+
+
+class TestRelationSchema:
+    def test_arity_and_positions(self):
+        schema = RelationSchema("ENR", ("student", "subject", "university"))
+        assert schema.arity == 3
+        assert schema.position_of("subject") == 1
+
+    def test_unknown_attribute(self):
+        schema = RelationSchema("ENR", ("student",))
+        with pytest.raises(SchemaError):
+            schema.position_of("nope")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("a", "a"))
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ())
+
+
+class TestRelation:
+    def test_add_and_contains(self):
+        relation = Relation(RelationSchema("LOC", ("university", "city")))
+        relation.add(("Sap", "Rome"))
+        assert ("Sap", "Rome") in relation
+        assert len(relation) == 1
+
+    def test_set_semantics(self):
+        relation = Relation(RelationSchema("R", ("a",)))
+        relation.add(("x",))
+        relation.add(("x",))
+        assert len(relation) == 1
+
+    def test_arity_check(self):
+        relation = Relation(RelationSchema("R", ("a", "b")))
+        with pytest.raises(SchemaError):
+            relation.add(("only-one",))
+
+    def test_project(self):
+        relation = Relation(RelationSchema("ENR", ("student", "subject", "university")))
+        relation.add(("A10", "Math", "TV"))
+        relation.add(("B80", "Math", "Sap"))
+        projected = relation.project(["subject"])
+        assert projected.rows == {("Math",)}
+
+    def test_select(self):
+        relation = Relation(RelationSchema("LOC", ("university", "city")))
+        relation.add_all([("Sap", "Rome"), ("Pol", "Milan")])
+        selected = relation.select(lambda row: row["city"] == "Rome")
+        assert selected.rows == {("Sap", "Rome")}
+
+    def test_column_and_remove(self):
+        relation = Relation(RelationSchema("LOC", ("university", "city")))
+        relation.add_all([("Sap", "Rome"), ("Pol", "Milan")])
+        assert relation.column("city") == ["Milan", "Rome"]
+        relation.remove(("Pol", "Milan"))
+        assert len(relation) == 1
+
+
+class TestCatalog:
+    def build(self):
+        catalog = Catalog("uni")
+        catalog.create_relation("STUD", ("student",))
+        catalog.create_relation("LOC", ("university", "city"))
+        catalog.insert("STUD", ("A10",))
+        catalog.insert_all("LOC", [("Sap", "Rome"), ("Pol", "Milan")])
+        return catalog
+
+    def test_creation_and_lookup(self):
+        catalog = self.build()
+        assert catalog.has_relation("STUD")
+        assert catalog.relation("LOC").schema.arity == 2
+        assert catalog.row_count() == 3
+
+    def test_duplicate_creation_rejected(self):
+        catalog = self.build()
+        with pytest.raises(SchemaError):
+            catalog.create_relation("STUD", ("student",))
+
+    def test_unknown_relation(self):
+        catalog = self.build()
+        with pytest.raises(UnknownRelationError):
+            catalog.relation("NOPE")
+        with pytest.raises(UnknownRelationError):
+            catalog.drop_relation("NOPE")
+
+    def test_drop(self):
+        catalog = self.build()
+        catalog.drop_relation("STUD")
+        assert not catalog.has_relation("STUD")
+
+    def test_to_atoms_roundtrip(self):
+        catalog = self.build()
+        atoms = catalog.to_atoms()
+        assert Atom.of("LOC", "Sap", "Rome") in atoms
+        rebuilt = Catalog.from_atoms(atoms, "rebuilt")
+        assert rebuilt.row_count() == catalog.row_count()
+
+    def test_from_atoms_rejects_mixed_arity(self):
+        with pytest.raises(SchemaError):
+            Catalog.from_atoms([Atom.of("R", "a"), Atom.of("R", "a", "b")])
+
+    def test_copy_is_independent(self):
+        catalog = self.build()
+        duplicate = catalog.copy()
+        duplicate.insert("STUD", ("B80",))
+        assert catalog.relation("STUD").rows == {("A10",)}
