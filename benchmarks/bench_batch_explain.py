@@ -1,0 +1,71 @@
+"""E9 — batch explanation scoring: shared evaluation cache vs. per-call path.
+
+The seed engine re-saturated the border ABox on every chase-strategy
+``is_certain_answer`` call, so scoring a pool of N candidates against a
+labeling with B borders ran the chase N×B times.  The shared
+:class:`~repro.engine.cache.EvaluationCache` runs it once per distinct
+border, and :meth:`~repro.core.explainer.OntologyExplainer.explain_batch`
+scores many labelings in one concurrent pass.
+
+This bench drives the E9 experiment
+(:func:`repro.experiments.scalability.run_batch_scoring` — one shared
+workload definition, no duplicated harness) at gate-worthy sizes:
+≥ 20 candidates × ≥ 2 labelings over the loan domain with the chase
+strategy.  It asserts the rankings are byte-identical between the
+cache-disabled sequential path (the seed behaviour) and the cached
+batch path, and that the speedup is at least 3× (measured speedups are
+an order of magnitude higher; 3× keeps the gate robust on noisy CI
+machines).
+
+Profiles (``REPRO_BENCH_PROFILE`` env var, see ``conftest.py``):
+
+* ``quick`` — 20 candidates × 2 labelings on a 20-applicant database;
+* ``full``  — 40 candidates × 3 labelings on a 60-applicant database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.scalability import run_batch_scoring
+
+MIN_SPEEDUP = 3.0
+
+
+@dataclass(frozen=True)
+class BatchBenchConfig:
+    applicants: int
+    candidate_pool: int
+    labeled_per_side: int
+    labelings: int
+
+
+PROFILES = {
+    "quick": BatchBenchConfig(applicants=20, candidate_pool=20, labeled_per_side=4, labelings=2),
+    "full": BatchBenchConfig(applicants=60, candidate_pool=40, labeled_per_side=8, labelings=3),
+}
+
+
+def test_bench_batch_explain(bench_profile):
+    config = PROFILES[bench_profile]
+    result = run_batch_scoring(
+        applicants=config.applicants,
+        candidate_pool=config.candidate_pool,
+        labeled_per_side=config.labeled_per_side,
+        labelings=config.labelings,
+    )
+    row = result.rows[0]
+
+    assert row["candidates"] >= 20, "the acceptance gate requires >= 20 candidates"
+    assert row["labelings"] >= 2, "the acceptance gate requires >= 2 labelings"
+    assert row["identical_rankings"] is True, "batch ranking diverged from the per-call path"
+
+    speedup = row["speedup"] if row["speedup"] is not None else float("inf")
+    print()
+    print(f"batch explain bench [{bench_profile}]")
+    print(result.render())
+    print(f"  gate: speedup >= {MIN_SPEEDUP} x")
+    assert speedup >= MIN_SPEEDUP, (
+        f"batch path only {speedup:.1f}x faster than the per-call path "
+        f"(required >= {MIN_SPEEDUP}x)"
+    )

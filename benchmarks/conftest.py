@@ -7,7 +7,11 @@ re-produces the paper's numbers alongside the timing statistics.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+BENCH_PROFILES = ("quick", "full")
 
 
 def pytest_addoption(parser):
@@ -23,3 +27,21 @@ def pytest_addoption(parser):
 @pytest.fixture(scope="session")
 def bench_scale(request) -> str:
     return request.config.getoption("--bench-scale")
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> str:
+    """Workload profile from the ``REPRO_BENCH_PROFILE`` env var.
+
+    ``quick`` (the default) keeps tier-1 and CI runs fast with small
+    workloads; ``full`` sizes the batch-scoring benches up to realistic
+    pools.  Example::
+
+        REPRO_BENCH_PROFILE=full pytest benchmarks/bench_batch_explain.py -s
+    """
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "quick")
+    if profile not in BENCH_PROFILES:
+        raise pytest.UsageError(
+            f"REPRO_BENCH_PROFILE must be one of {BENCH_PROFILES}, got {profile!r}"
+        )
+    return profile

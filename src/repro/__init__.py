@@ -11,6 +11,7 @@ Ontology-Based Data Management (OBDM) stack built from scratch:
 * :mod:`repro.obdm`       — mappings, specifications, systems, certain answers;
 * :mod:`repro.ml`         — from-scratch classifiers producing the labelings λ;
 * :mod:`repro.core`       — borders, J-matching, criteria, Z-scores, explainer;
+* :mod:`repro.engine`     — shared evaluation cache + concurrent batch scoring;
 * :mod:`repro.ontologies` — ready-made domain ontologies (university, loans, ...);
 * :mod:`repro.workloads`  — deterministic synthetic data generators;
 * :mod:`repro.experiments`— the harness reproducing the paper's numbers.
@@ -35,6 +36,7 @@ from .core import (
     example_3_8_expression,
 )
 from .dl import Ontology, parse_ontology
+from .engine import BatchExplainer, EvaluationCache
 from .obdm import (
     Mapping,
     MappingAssertion,
@@ -48,7 +50,9 @@ from .queries import ConjunctiveQuery, UnionOfConjunctiveQueries, parse_cq, pars
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchExplainer",
     "ConjunctiveQuery",
+    "EvaluationCache",
     "Labeling",
     "Mapping",
     "MappingAssertion",

@@ -24,7 +24,7 @@ from ..errors import ExplanationError, SearchBudgetExceeded
 from ..obdm.certain_answers import OntologyQuery
 from ..obdm.system import OBDMSystem
 from ..queries.cq import ConjunctiveQuery
-from ..queries.ucq import UnionOfConjunctiveQueries
+from ..queries.ucq import UnionOfConjunctiveQueries, query_key
 from .border import BorderComputer
 from .candidates import CandidateConfig, CandidateGenerator
 from .criteria import (
@@ -174,18 +174,19 @@ class BestDescriptionSearch:
         )
         return [query for query, _ in search.search()]
 
-    def search(
+    def candidate_pool(
         self,
         strategy: str = "enumerate",
         candidate_config: Optional[CandidateConfig] = None,
         refinement_config: Optional[RefinementConfig] = None,
         extra_candidates: Iterable[OntologyQuery] = (),
-        top_k: Optional[int] = None,
-    ) -> List[ScoredQuery]:
-        """Build a candidate pool with the chosen strategy and rank it.
+    ) -> List[OntologyQuery]:
+        """The deduplicated candidate pool the chosen strategy produces.
 
         ``strategy`` is one of ``"enumerate"`` (bottom-up), ``"refine"``
-        (top-down beam search) or ``"both"``.
+        (top-down beam search) or ``"both"``.  Extracted from
+        :meth:`search` so batch scoring can build the identical pool and
+        score it concurrently.
         """
         candidates: List[OntologyQuery] = list(extra_candidates)
         if strategy in ("enumerate", "both"):
@@ -199,15 +200,24 @@ class BestDescriptionSearch:
         seen: Set[Tuple] = set()
         unique: List[OntologyQuery] = []
         for candidate in candidates:
-            key = (
-                ("ucq", tuple(sorted(cq.signature() for cq in candidate.disjuncts)))
-                if isinstance(candidate, UnionOfConjunctiveQueries)
-                else ("cq", candidate.signature())
-            )
+            key = query_key(candidate)
             if key not in seen:
                 seen.add(key)
                 unique.append(candidate)
-        ranking = self.rank(unique)
+        return unique
+
+    def search(
+        self,
+        strategy: str = "enumerate",
+        candidate_config: Optional[CandidateConfig] = None,
+        refinement_config: Optional[RefinementConfig] = None,
+        extra_candidates: Iterable[OntologyQuery] = (),
+        top_k: Optional[int] = None,
+    ) -> List[ScoredQuery]:
+        """Build a candidate pool with the chosen strategy and rank it."""
+        ranking = self.rank(
+            self.candidate_pool(strategy, candidate_config, refinement_config, extra_candidates)
+        )
         return ranking[:top_k] if top_k is not None else ranking
 
     # -- UCQ construction -----------------------------------------------------------------

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Union
 
+from ..engine.batch import BatchExplainer
 from ..errors import ExplanationError
 from ..obdm.certain_answers import OntologyQuery
 from ..obdm.system import OBDMSystem
@@ -35,7 +36,7 @@ from .labeling import Labeling
 from .matching import MatchEvaluator, MatchProfile
 from .refinement import RefinementConfig
 from .report import Explanation, ExplanationReport, build_report
-from .scoring import ScoringExpression, example_3_8_expression
+from .scoring import ScoringExpression, describe_expression, example_3_8_expression
 from .separability import SeparabilityChecker, SeparabilityResult
 
 
@@ -119,6 +120,48 @@ class OntologyExplainer:
             top_k=top_k,
         )
 
+    def explain_batch(
+        self,
+        labelings: Sequence[Labeling],
+        radius: int = 1,
+        criteria: Sequence[Union[str, Criterion]] = (DELTA_1, DELTA_4, DELTA_5),
+        expression: Optional[ScoringExpression] = None,
+        registry: CriteriaRegistry = DEFAULT_REGISTRY,
+        strategy: str = "enumerate",
+        candidates: Optional[Iterable[Union[str, OntologyQuery]]] = None,
+        candidate_config: Optional[CandidateConfig] = None,
+        refinement_config: Optional[RefinementConfig] = None,
+        top_k: Optional[int] = 10,
+        max_workers: Optional[int] = None,
+    ) -> List[ExplanationReport]:
+        """Explain many labelings in one concurrent pass (one report each).
+
+        Semantics are identical to calling :meth:`explain` once per
+        labeling with the same arguments — the batch path scores
+        (labeling, candidate) pairs concurrently but ranks with the same
+        deterministic comparator, so reports match query-for-query.
+        ``max_workers=1`` forces sequential scoring.
+        """
+        expression = expression or example_3_8_expression()
+        batch = BatchExplainer(
+            self.system,
+            radius,
+            criteria,
+            expression,
+            registry,
+            border_computer=self._border_computer,
+            max_workers=max_workers,
+        )
+        parsed = None if candidates is None else [self._parse(c) for c in candidates]
+        return batch.explain_batch(
+            list(labelings),
+            candidates=parsed,
+            strategy=strategy,
+            candidate_config=candidate_config,
+            refinement_config=refinement_config,
+            top_k=top_k,
+        )
+
     def best_query(
         self,
         labeling: Labeling,
@@ -147,16 +190,21 @@ class OntologyExplainer:
         With ``exact=True`` the product-homomorphism decision procedure is
         used (complete for CQs under the border semantics); candidate
         queries, when supplied, are tried first since a concrete witness
-        is more informative than the canonical product query.
+        is more informative than the canonical product query.  Each
+        supplied candidate is parsed and profiled exactly once, whatever
+        the flags.
         """
         checker = SeparabilityChecker(self.system, labeling, radius, self.evaluator(radius))
+        candidate_result: Optional[SeparabilityResult] = None
         if candidates is not None:
-            result = checker.check_candidates([self._parse(c) for c in candidates])
-            if result.separable:
-                return result
+            candidate_result = checker.check_candidates([self._parse(c) for c in candidates])
+            if candidate_result.separable:
+                return candidate_result
         if exact:
             return checker.decide_cq_separability()
-        return checker.check_candidates([] if candidates is None else [self._parse(c) for c in candidates])
+        if candidate_result is not None:
+            return candidate_result
+        return checker.check_candidates([])
 
     # -- helpers ------------------------------------------------------------------------------
 
@@ -168,9 +216,4 @@ class OntologyExplainer:
 
     @staticmethod
     def _describe_expression(expression: ScoringExpression) -> str:
-        name = type(expression).__name__
-        try:
-            variables = ", ".join(expression.variables())
-        except NotImplementedError:
-            variables = "?"
-        return f"{name}({variables})"
+        return describe_expression(expression)

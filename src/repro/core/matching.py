@@ -8,7 +8,10 @@ then it matches ``B_{t,r+1}``.
 
 The :class:`MatchEvaluator` below caches the retrieved ABox of each
 border, because the explanation search evaluates many candidate queries
-against the same set of borders.  :class:`MatchProfile` aggregates, for
+against the same set of borders, and memoizes J-match verdicts in the
+specification's shared :class:`~repro.engine.cache.EvaluationCache`
+(keyed by query signature × border, so verdicts are reused across
+evaluators and labelings).  :class:`MatchProfile` aggregates, for
 one query, which positive and negative tuples were matched — the raw
 material of the criteria δ1–δ4.
 """
@@ -23,7 +26,7 @@ from ..obdm.certain_answers import OntologyQuery
 from ..obdm.system import OBDMSystem
 from ..obdm.virtual_abox import VirtualABox
 from ..queries.cq import ConjunctiveQuery
-from ..queries.ucq import UnionOfConjunctiveQueries
+from ..queries.ucq import UnionOfConjunctiveQueries, query_key
 from .border import Border, BorderComputer
 from .labeling import ConstantTuple, Labeling, RawTuple, normalize_tuple
 
@@ -120,6 +123,7 @@ class MatchEvaluator:
         self.radius = radius
         self.borders = border_computer or BorderComputer(system.database)
         self._abox_cache: Dict[Tuple[ConstantTuple, int], VirtualABox] = {}
+        self._shared_cache = system.specification.engine.cache
 
     # -- border ABox handling -----------------------------------------------------
 
@@ -130,10 +134,19 @@ class MatchEvaluator:
         key = (border.tuple, border.radius)
         abox = self._abox_cache.get(key)
         if abox is None:
-            sub_database = self.system.database.restrict_to(border.atoms)
-            abox = self.system.specification.retrieve_abox(sub_database)
+            # The shared cache keys the retrieval by the border's atom set,
+            # so evaluators over the same specification reuse each other's
+            # retrieved ABoxes; the local dict keeps the seed's per-evaluator
+            # lookup (and its staleness semantics w.r.t. database mutation).
+            abox = self._shared_cache.border_abox(
+                border.atoms, lambda: self._retrieve_border_abox(border)
+            )
             self._abox_cache[key] = abox
         return abox
+
+    def _retrieve_border_abox(self, border: Border) -> VirtualABox:
+        sub_database = self.system.database.restrict_to(border.atoms)
+        return self.system.specification.retrieve_abox(sub_database)
 
     # -- Definition 3.4 -----------------------------------------------------------
 
@@ -143,10 +156,21 @@ class MatchEvaluator:
         return self.matches_border(query, border)
 
     def matches_border(self, query: OntologyQuery, border: Border) -> bool:
-        """``True`` iff *query* J-matches the given precomputed border."""
+        """``True`` iff *query* J-matches the given precomputed border.
+
+        Verdicts are memoized in the specification's shared evaluation
+        cache under (query signature, border); the border value embeds
+        its tuple, radius and atom layers, so the key is content-
+        addressed and remains sound across evaluators of the same ``J``.
+        """
         key = normalize_tuple(border.tuple)
         if self._query_arity(query) != len(key):
             return False
+        return self._shared_cache.match(
+            (query_key(query), border), lambda: self._evaluate_match(query, key, border)
+        )
+
+    def _evaluate_match(self, query: OntologyQuery, key: ConstantTuple, border: Border) -> bool:
         # The retrieved ABox of the border sub-database is cached; once it is
         # available the source database itself is not consulted again, so the
         # full database can be passed without building the restriction.

@@ -149,6 +149,16 @@ class CallableExpression(ScoringExpression):
         return float(self.function(values))
 
 
+def describe_expression(expression: ScoringExpression) -> str:
+    """Short human-readable description used in explanation reports."""
+    name = type(expression).__name__
+    try:
+        variables = ", ".join(expression.variables())
+    except NotImplementedError:
+        variables = "?"
+    return f"{name}({variables})"
+
+
 # ---------------------------------------------------------------------------
 # Ready-made expressions
 # ---------------------------------------------------------------------------

@@ -1,0 +1,74 @@
+"""``repro.engine`` — the shared evaluation-cache and batch-scoring substrate.
+
+Why this package exists
+-----------------------
+
+The explanation framework (Definition 3.7 of the paper) is a search: it
+scores tens to thousands of candidate queries, and every score is a
+J-matching profile (Definition 3.4) computed against the *same* borders
+and the *same* virtual ABoxes.  The seed implementation rebuilt the
+expensive intermediates on every call — most painfully, the chase
+strategy re-saturated the ABox on every single ``is_certain_answer``
+check.  This package centralises that repeated work behind two
+components:
+
+:class:`~repro.engine.cache.EvaluationCache`
+    A content-addressed memo shared by every evaluator working against
+    one OBDM specification.  It caches (1) saturated chase indexes per
+    ABox fact set, (2) perfect rewritings per canonical query signature,
+    (3) retrieved border ABoxes per border atom set and (4) J-match
+    verdicts per query signature × border.  Keys are frozen *values*,
+    never object identities, so shared use across labelings, evaluators
+    and worker threads is safe by construction.  Every
+    :class:`~repro.obdm.certain_answers.CertainAnswerEngine` owns one
+    (``specification.engine.cache``) and the J-matching layer
+    (:class:`~repro.core.matching.MatchEvaluator`) consults it.
+
+:class:`~repro.engine.batch.BatchExplainer`
+    Concurrent batch scoring of candidate pools across one or many
+    labelings via :mod:`concurrent.futures`, with deterministic result
+    ordering: results are placed by (labeling, candidate) index and
+    ranked with the exact comparator of the sequential search, so batch
+    output is query-for-query identical to calling
+    :meth:`~repro.core.explainer.OntologyExplainer.explain` in a loop.
+    :meth:`~repro.core.explainer.OntologyExplainer.explain_batch` is the
+    public entry point.
+
+Quickstart::
+
+    from repro.core import Labeling, OntologyExplainer
+    from repro.ontologies.university import build_university_system
+
+    system = build_university_system()
+    explainer = OntologyExplainer(system)
+    reports = explainer.explain_batch(
+        [lambda_a, lambda_b],                 # many labelings, one pass
+        candidates=["q(x) :- studies(x, 'Math')", ...],
+    )
+
+Benchmarks: ``benchmarks/bench_batch_explain.py`` measures the cached
+batch path against the seed's per-call path (toggle via
+``EvaluationCache.enabled``) and asserts byte-identical rankings.
+
+Next scaling steps this substrate unlocks (see ROADMAP.md): sharding
+candidate pools across processes, async serving of explanation requests
+with a warm shared cache, and cross-request cache persistence.
+"""
+
+from __future__ import annotations
+
+from .cache import CacheStats, EvaluationCache
+
+__all__ = ["BatchExplainer", "CacheStats", "EvaluationCache"]
+
+
+def __getattr__(name: str):
+    # BatchExplainer is exposed lazily: importing repro.engine.batch pulls
+    # in repro.core, which itself imports repro.obdm.certain_answers →
+    # repro.engine.cache; loading it eagerly here would close that loop
+    # during package initialisation.
+    if name == "BatchExplainer":
+        from .batch import BatchExplainer
+
+        return BatchExplainer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,169 @@
+"""Concurrent batch scoring of candidate pools and labelings.
+
+The sequential path scores one (labeling, candidate) pair at a time.
+Batch workloads — "explain these five classifiers over the same system"
+or "score this pool of 200 candidates" — have no data dependencies
+between pairs, so :class:`BatchExplainer` fans them out over a
+:class:`concurrent.futures.ThreadPoolExecutor`.  Correctness rests on
+two invariants:
+
+* **shared state is memo-only** — worker threads only touch the
+  specification's :class:`~repro.engine.cache.EvaluationCache`, whose
+  entries are content-addressed and idempotent to recompute, so races
+  can at worst duplicate work, never corrupt a result;
+* **deterministic ordering** — results are written into slots indexed
+  by (labeling position, candidate position) and ranked with the exact
+  tie-breaking comparator of the sequential search
+  (:meth:`BestDescriptionSearch._sort_key`), so the batch output is
+  query-for-query identical to a sequential loop regardless of thread
+  scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..core.best_describe import BestDescriptionSearch, ScoredQuery
+from ..core.border import BorderComputer
+from ..core.candidates import CandidateConfig
+from ..core.criteria import DEFAULT_REGISTRY, DELTA_1, DELTA_4, DELTA_5, Criterion, CriteriaRegistry
+from ..core.labeling import Labeling
+from ..core.refinement import RefinementConfig
+from ..core.report import ExplanationReport, build_report
+from ..core.scoring import ScoringExpression, describe_expression, example_3_8_expression
+from ..obdm.certain_answers import OntologyQuery
+from ..obdm.system import OBDMSystem
+
+
+def _default_workers() -> int:
+    return min(8, os.cpu_count() or 1)
+
+
+class BatchExplainer:
+    """Scores many (labeling, candidate) pairs concurrently over one Σ."""
+
+    def __init__(
+        self,
+        system: OBDMSystem,
+        radius: int = 1,
+        criteria: Sequence[Union[str, Criterion]] = (DELTA_1, DELTA_4, DELTA_5),
+        expression: Optional[ScoringExpression] = None,
+        registry: CriteriaRegistry = DEFAULT_REGISTRY,
+        border_computer: Optional[BorderComputer] = None,
+        max_workers: Optional[int] = None,
+    ):
+        self.system = system
+        self.radius = radius
+        self.criteria = criteria
+        self.expression = expression or example_3_8_expression()
+        self.registry = registry
+        self.border_computer = border_computer or BorderComputer(system.database)
+        self.max_workers = max_workers if max_workers is not None else _default_workers()
+
+    # -- building blocks --------------------------------------------------
+
+    def search_for(self, labeling: Labeling) -> BestDescriptionSearch:
+        """A sequential search bound to one labeling, sharing our borders."""
+        return BestDescriptionSearch(
+            self.system,
+            labeling,
+            self.radius,
+            self.criteria,
+            self.expression,
+            self.registry,
+            self.border_computer,
+        )
+
+    def _score_pools(
+        self,
+        searches: Sequence[BestDescriptionSearch],
+        pools: Sequence[Sequence[OntologyQuery]],
+    ) -> List[List[ScoredQuery]]:
+        """Score every (labeling, candidate) pair, preserving pool order."""
+        results: List[List[Optional[ScoredQuery]]] = [[None] * len(pool) for pool in pools]
+        tasks = [
+            (labeling_index, candidate_index, query)
+            for labeling_index, pool in enumerate(pools)
+            for candidate_index, query in enumerate(pool)
+        ]
+        if self.max_workers <= 1 or len(tasks) <= 1:
+            for labeling_index, candidate_index, query in tasks:
+                results[labeling_index][candidate_index] = searches[labeling_index].scorer.score(query)
+            return results  # type: ignore[return-value]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as executor:
+            futures = {
+                executor.submit(searches[labeling_index].scorer.score, query): (
+                    labeling_index,
+                    candidate_index,
+                )
+                for labeling_index, candidate_index, query in tasks
+            }
+            for future in as_completed(futures):
+                labeling_index, candidate_index = futures[future]
+                results[labeling_index][candidate_index] = future.result()
+        return results  # type: ignore[return-value]
+
+    # -- scoring API ------------------------------------------------------
+
+    def score_pool(self, labeling: Labeling, candidates: Sequence[OntologyQuery]) -> List[ScoredQuery]:
+        """Scores in candidate order (no ranking applied)."""
+        return self._score_pools([self.search_for(labeling)], [list(candidates)])[0]
+
+    def rank_pool(self, labeling: Labeling, candidates: Sequence[OntologyQuery]) -> List[ScoredQuery]:
+        """Concurrent equivalent of :meth:`BestDescriptionSearch.rank`."""
+        scored = self.score_pool(labeling, candidates)
+        return sorted(scored, key=BestDescriptionSearch._sort_key)
+
+    # -- the batch entry point --------------------------------------------
+
+    def explain_batch(
+        self,
+        labelings: Sequence[Labeling],
+        candidates: Optional[Sequence[OntologyQuery]] = None,
+        strategy: str = "enumerate",
+        candidate_config: Optional[CandidateConfig] = None,
+        refinement_config: Optional[RefinementConfig] = None,
+        top_k: Optional[int] = 10,
+    ) -> List[ExplanationReport]:
+        """One report per labeling, identical to sequential ``explain``.
+
+        When *candidates* is given the same pool is scored for every
+        labeling; otherwise each labeling builds its own pool with the
+        chosen strategy, exactly as the sequential search would.
+        """
+        labelings = list(labelings)
+        searches = [self.search_for(labeling) for labeling in labelings]
+        pools: List[List[OntologyQuery]] = []
+        explicit_counts: List[Optional[int]] = []
+        for search in searches:
+            if candidates is not None:
+                pool = list(candidates)
+                explicit_counts.append(len(pool))
+            else:
+                pool = search.candidate_pool(strategy, candidate_config, refinement_config)
+                explicit_counts.append(None)
+            pools.append(pool)
+
+        scored_pools = self._score_pools(searches, pools)
+
+        reports: List[ExplanationReport] = []
+        for labeling, search, scored, explicit_count in zip(
+            labelings, searches, scored_pools, explicit_counts
+        ):
+            ranking = sorted(scored, key=BestDescriptionSearch._sort_key)
+            candidate_count = explicit_count if explicit_count is not None else len(ranking)
+            criteria_keys = [criterion.key for criterion in search.scorer.criteria]
+            reports.append(
+                build_report(
+                    labeling,
+                    self.radius,
+                    criteria_keys,
+                    describe_expression(self.expression),
+                    ranking,
+                    candidate_count,
+                    top_k=top_k,
+                )
+            )
+        return reports

@@ -1,0 +1,206 @@
+"""The shared evaluation cache behind certain-answer computation.
+
+The best-description search asks the same expensive questions over and
+over: *saturate this border's ABox*, *rewrite this query*, *does this
+query J-match this border?*.  The seed engine recomputed the first on
+every chase-strategy call and the last on every profile evaluation.
+:class:`EvaluationCache` memoizes all three layers behind one object
+that is shared by every evaluator working against the same OBDM
+specification:
+
+* **saturated chase indexes** — keyed by the ABox's fact set, so each
+  distinct (border or full) ABox is chased exactly once;
+* **perfect rewritings** — keyed by the query's canonical signature
+  (:func:`repro.queries.ucq.query_key`);
+* **retrieved border ABoxes** — keyed by the border's source atoms;
+* **J-match verdicts** — keyed by query signature × border (the border
+  value embeds its tuple, radius and atom layers, so keys are
+  content-addressed and stay valid even if the source database mutates).
+
+All keys are content-addressed (frozen values, not object identities),
+which is what makes the cache safely shareable between evaluators,
+labelings and worker threads: a hit can never observe stale state, only
+skip recomputation.  Mutating dict entries under CPython is atomic, and
+the expensive saturation path additionally takes a per-key lock so
+concurrent scorers do not chase the same ABox twice.
+
+The computation itself is *injected* (the cache never imports the chase
+or the rewriter), keeping this module at the bottom of the dependency
+stack: ``repro.obdm.certain_answers`` plugs in its own saturator and
+rewriter when it builds its cache.
+
+Setting :attr:`EvaluationCache.enabled` to ``False`` restores the
+seed's per-call behaviour for the hot layers (saturation, border-ABox
+retrieval, J-matching) while keeping the rewriting memo, which the seed
+already had; the benchmark ``benchmarks/bench_batch_explain.py`` uses
+that switch to measure the speedup honestly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+
+from ..queries.atoms import Atom
+from ..queries.evaluation import FactIndex
+from ..queries.ucq import query_key
+
+Saturator = Callable[[FrozenSet[Atom]], Iterable[Atom]]
+
+
+class CacheStats:
+    """Hit/miss counters per memo layer (observability for benchmarks).
+
+    Increments go through a lock: ``+=`` on an attribute is a
+    read-modify-write that can drop counts when batch-scoring worker
+    threads share the cache.
+    """
+
+    _COUNTERS = (
+        "saturation_hits",
+        "saturation_misses",
+        "rewriting_hits",
+        "rewriting_misses",
+        "border_abox_hits",
+        "border_abox_misses",
+        "match_hits",
+        "match_misses",
+    )
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        for counter in self._COUNTERS:
+            setattr(self, counter, 0)
+
+    def count(self, counter: str) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {counter: getattr(self, counter) for counter in self._COUNTERS}
+
+    def __str__(self):
+        rendered = ", ".join(f"{key}={value}" for key, value in self.as_dict().items())
+        return f"CacheStats({rendered})"
+
+
+class EvaluationCache:
+    """Content-addressed memoization shared by all evaluators of one ``J``.
+
+    Parameters
+    ----------
+    saturator:
+        Maps a frozenset of ABox facts to the saturated (chased) fact
+        set.  Called at most once per distinct ABox while enabled.
+    rewriter:
+        Maps an ontology query to its perfect rewriting.  Called at most
+        once per canonical query signature (always memoized; the seed
+        engine already cached rewritings, so disabling the cache does
+        not disable this layer).
+    """
+
+    def __init__(self, saturator: Saturator, rewriter: Callable, enabled: bool = True):
+        self._saturator = saturator
+        self._rewriter = rewriter
+        self.enabled = enabled
+        self.stats = CacheStats()
+        self._saturated: Dict[Hashable, FactIndex] = {}
+        self._saturation_locks: Dict[Hashable, threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+        self._rewritings: Dict[Tuple, object] = {}
+        self._border_aboxes: Dict[FrozenSet[Atom], object] = {}
+        self._matches: Dict[Tuple, bool] = {}
+
+    # -- saturation -------------------------------------------------------
+
+    def saturated_index(self, facts: FrozenSet[Atom], key: Optional[Tuple] = None) -> FactIndex:
+        """Index over the chase of *facts*, computed at most once per key.
+
+        *key* defaults to the fact set itself; callers whose saturator
+        reads extra live configuration (e.g. the chase depth bound) must
+        fold that configuration into the key so reconfiguring never
+        serves a stale saturation.
+        """
+        memo_key = facts if key is None else key
+        if not self.enabled:
+            self.stats.count("saturation_misses")
+            return FactIndex(self._saturator(facts))
+        index = self._saturated.get(memo_key)
+        if index is not None:
+            self.stats.count("saturation_hits")
+            return index
+        with self._locks_guard:
+            lock = self._saturation_locks.setdefault(memo_key, threading.Lock())
+        with lock:
+            index = self._saturated.get(memo_key)
+            if index is None:
+                self.stats.count("saturation_misses")
+                index = FactIndex(self._saturator(facts))
+                self._saturated[memo_key] = index
+            else:
+                self.stats.count("saturation_hits")
+        return index
+
+    # -- rewritings -------------------------------------------------------
+
+    def rewriting(self, query):
+        """Perfect rewriting of *query*, memoized by canonical signature."""
+        key = query_key(query)
+        rewriting = self._rewritings.get(key)
+        if rewriting is None:
+            self.stats.count("rewriting_misses")
+            rewriting = self._rewriter(query)
+            self._rewritings[key] = rewriting
+        else:
+            self.stats.count("rewriting_hits")
+        return rewriting
+
+    # -- border ABoxes ----------------------------------------------------
+
+    def border_abox(self, atoms: FrozenSet[Atom], compute: Callable[[], object]):
+        """Retrieved ABox of a border sub-database, keyed by its atoms."""
+        if not self.enabled:
+            self.stats.count("border_abox_misses")
+            return compute()
+        abox = self._border_aboxes.get(atoms)
+        if abox is None:
+            self.stats.count("border_abox_misses")
+            abox = compute()
+            self._border_aboxes[atoms] = abox
+        else:
+            self.stats.count("border_abox_hits")
+        return abox
+
+    # -- J-match verdicts -------------------------------------------------
+
+    def match(self, key: Tuple, compute: Callable[[], bool]) -> bool:
+        """Memoized J-match verdict for a (query signature, border) key."""
+        if not self.enabled:
+            self.stats.count("match_misses")
+            return compute()
+        verdict = self._matches.get(key)
+        if verdict is None:
+            self.stats.count("match_misses")
+            verdict = compute()
+            self._matches[key] = verdict
+        else:
+            self.stats.count("match_hits")
+        return verdict
+
+    # -- maintenance ------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every memoized entry (counters are kept)."""
+        with self._locks_guard:
+            self._saturated.clear()
+            self._saturation_locks.clear()
+            self._rewritings.clear()
+            self._border_aboxes.clear()
+            self._matches.clear()
+
+    def __str__(self):
+        return (
+            f"EvaluationCache(enabled={self.enabled}, "
+            f"saturated={len(self._saturated)}, rewritings={len(self._rewritings)}, "
+            f"border_aboxes={len(self._border_aboxes)}, matches={len(self._matches)})"
+        )

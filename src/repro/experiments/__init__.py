@@ -1,4 +1,4 @@
-"""Experiment harness reproducing every numeric artifact of the paper (E1-E8)."""
+"""Experiment harness reproducing every numeric artifact of the paper (E1-E9)."""
 
 from .ablation import run_bias_ablation, run_weight_ablation
 from .certain_answers_exp import run_certain_answers
@@ -13,7 +13,7 @@ from .paper_examples import (
     run_example_3_8,
     run_proposition_3_5,
 )
-from .scalability import run_border_scalability, run_search_scalability
+from .scalability import run_batch_scoring, run_border_scalability, run_search_scalability
 from .tables import ExperimentResult
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "PAPER_EXAMPLE_3_8_SCORES",
     "render_all",
     "run_all",
+    "run_batch_scoring",
     "run_bias_ablation",
     "run_border_scalability",
     "run_certain_answers",

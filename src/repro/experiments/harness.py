@@ -20,7 +20,7 @@ from .paper_examples import (
     run_example_3_8,
     run_proposition_3_5,
 )
-from .scalability import run_border_scalability, run_search_scalability
+from .scalability import run_batch_scoring, run_border_scalability, run_search_scalability
 from .tables import ExperimentResult
 
 EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
@@ -34,6 +34,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "E7b": lambda: run_search_scalability(sizes=(20, 40)),
     "E8a": run_weight_ablation,
     "E8b": lambda: run_bias_ablation(persons=30, max_candidates=150),
+    "E9": run_batch_scoring,
 }
 
 

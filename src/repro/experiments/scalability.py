@@ -1,12 +1,15 @@
-"""Experiment E7: scalability of borders and of the best-query search.
+"""Experiments E7/E9: scalability of borders, search and batch scoring.
 
-Two sweeps over the scaled university workload:
+Three sweeps:
 
 * **border sweep** — wall-clock time and border sizes as the database
   grows and the radius increases (Definition 3.2 is the inner loop of
   everything else, so its scaling matters most);
 * **search sweep** — end-to-end time of the explanation search as the
-  number of labelled tuples grows, for a fixed candidate budget.
+  number of labelled tuples grows, for a fixed candidate budget;
+* **batch sweep (E9)** — chase-strategy batch scoring through the shared
+  evaluation cache (:mod:`repro.engine`) against the per-call path, the
+  workload ``benchmarks/bench_batch_explain.py`` gates.
 """
 
 from __future__ import annotations
@@ -15,11 +18,13 @@ import time
 from typing import Dict, List, Sequence
 
 from ..core.border import BorderComputer
-from ..core.candidates import CandidateConfig
+from ..core.candidates import CandidateConfig, CandidateGenerator
 from ..core.explainer import OntologyExplainer
 from ..core.labeling import Labeling
 from ..obdm.system import OBDMSystem
+from ..ontologies.loans import build_loan_specification
 from ..ontologies.university import build_university_specification
+from ..workloads.loans_gen import LoanWorkloadConfig, generate_loan_workload
 from ..workloads.university_gen import UniversityWorkloadConfig, generate_university_workload
 from .tables import ExperimentResult
 
@@ -99,4 +104,79 @@ def run_search_scalability(
             best_coverage=round(best.profile.positive_coverage(), 3) if best else None,
             best_exclusion=round(best.profile.negative_exclusion(), 3) if best else None,
         )
+    return result
+
+
+def run_batch_scoring(
+    applicants: int = 14,
+    candidate_pool: int = 12,
+    labeled_per_side: int = 3,
+    labelings: int = 2,
+    seed: int = 7,
+) -> ExperimentResult:
+    """E9: cached batch scoring vs the per-call path (chase strategy).
+
+    Scores one candidate pool against several labelings over the loan
+    domain, once with the shared evaluation cache disabled (the seed's
+    per-call behaviour: the border ABox is re-chased on every
+    ``is_certain_answer``) and once through ``explain_batch``.  The
+    rankings are checked to be identical; the table reports both times
+    and the speedup.
+    """
+    database = generate_loan_workload(
+        LoanWorkloadConfig(applicants=applicants, seed=seed)
+    ).database
+
+    def make_system(cache_enabled: bool) -> OBDMSystem:
+        specification = build_loan_specification().with_strategy("chase")
+        specification.engine.cache.enabled = cache_enabled
+        return OBDMSystem(specification, database, name="loan_chase_e9")
+
+    size = 2 * labeled_per_side
+    names = [f"APP{i:04d}" for i in range(size + labelings - 1)]
+    labeling_list = [
+        Labeling(
+            positives=names[offset : offset + labeled_per_side],
+            negatives=names[offset + labeled_per_side : offset + size],
+            name=f"lambda_{offset}",
+        )
+        for offset in range(labelings)
+    ]
+
+    pool_system = make_system(cache_enabled=True)
+    pool = CandidateGenerator(
+        pool_system, 1, CandidateConfig(max_atoms=2, max_candidates=candidate_pool)
+    ).generate(labeling_list[0])
+
+    baseline_explainer = OntologyExplainer(make_system(cache_enabled=False))
+    start = time.perf_counter()
+    baseline = [
+        baseline_explainer.explain(labeling, candidates=pool) for labeling in labeling_list
+    ]
+    per_call_seconds = time.perf_counter() - start
+
+    batch_system = make_system(cache_enabled=True)
+    start = time.perf_counter()
+    batched = OntologyExplainer(batch_system).explain_batch(labeling_list, candidates=pool)
+    batch_seconds = time.perf_counter() - start
+
+    identical = all(
+        left.render(top_k=None) == right.render(top_k=None)
+        for left, right in zip(baseline, batched)
+    )
+    stats = batch_system.specification.engine.cache.stats
+    result = ExperimentResult(
+        "E9",
+        "Batch scoring: shared evaluation cache vs per-call chase",
+        notes=f"loan domain, |D|={len(database)} facts, strategy=chase",
+    )
+    result.add_row(
+        candidates=len(pool),
+        labelings=len(labeling_list),
+        per_call_seconds=round(per_call_seconds, 3),
+        batch_seconds=round(batch_seconds, 3),
+        speedup=round(per_call_seconds / batch_seconds, 1) if batch_seconds > 0 else None,
+        identical_rankings=identical,
+        saturations_saved=stats.saturation_hits,
+    )
     return result

@@ -14,8 +14,11 @@ equivalent ways, both implemented here:
   discarding answers that contain nulls.
 
 The explanation framework calls this engine once per (query, border)
-pair, so the engine caches rewritings by query signature and lets the
-caller reuse retrieved ABoxes.
+pair, so the engine routes every expensive step through a shared
+:class:`~repro.engine.cache.EvaluationCache`: rewritings are memoized by
+query signature, and chase saturation is memoized per ABox fact set, so
+repeated ``is_certain_answer`` calls against the same border no longer
+re-run the chase.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple, Union
 
 from ..dl.ontology import Ontology
+from ..engine.cache import EvaluationCache
 from ..errors import CertainAnswerError
 from ..queries.atoms import Atom
 from ..queries.cq import ConjunctiveQuery
@@ -59,7 +63,12 @@ class CertainAnswerEngine:
         self.strategy = strategy
         self.chase_depth = chase_depth
         self._rewriter = PerfectRefRewriter(ontology)
-        self._rewrite_cache: Dict[Tuple, UnionOfConjunctiveQueries] = {}
+        # The engine owns its cache: the memoized saturator/rewriter close
+        # over this ontology, so sharing happens via the engine, never by
+        # injecting a cache built for a different specification.
+        self.cache = EvaluationCache(
+            saturator=self._chase_facts, rewriter=self._rewriter.rewrite
+        )
 
     # -- ABox handling -------------------------------------------------------
 
@@ -67,24 +76,25 @@ class CertainAnswerEngine:
         """Retrieve the virtual ABox of a source database."""
         return retrieve_abox(self.mapping, database)
 
-    def saturate(self, abox: VirtualABox) -> FactIndex:
-        """Chase an ABox and return an index over the saturated facts."""
+    def _chase_facts(self, facts: FrozenSet[Atom]) -> FrozenSet[Atom]:
+        """Chase a fact set with a fresh engine (deterministic null names)."""
         engine = ChaseEngine(self.ontology, max_depth=self.chase_depth)
-        return FactIndex(engine.chase(abox.facts))
+        return engine.chase(facts)
+
+    def saturate(self, abox: VirtualABox) -> FactIndex:
+        """Index over the chased ABox, memoized per fact set and depth.
+
+        ``chase_depth`` is part of the memo key: reconfiguring the depth
+        on a live engine must not serve saturations chased at the old
+        bound.
+        """
+        return self.cache.saturated_index(abox.facts, key=(abox.facts, self.chase_depth))
 
     # -- rewriting cache ---------------------------------------------------------
 
     def rewrite(self, query: OntologyQuery) -> UnionOfConjunctiveQueries:
         """Perfect rewriting of a query, cached by canonical signature."""
-        if isinstance(query, ConjunctiveQuery):
-            key: Tuple = ("cq", query.signature())
-        else:
-            key = ("ucq", tuple(sorted(cq.signature() for cq in query.disjuncts)))
-        rewriting = self._rewrite_cache.get(key)
-        if rewriting is None:
-            rewriting = self._rewriter.rewrite(query)
-            self._rewrite_cache[key] = rewriting
-        return rewriting
+        return self.cache.rewriting(query)
 
     # -- certain answers ------------------------------------------------------------
 

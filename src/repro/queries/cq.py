@@ -159,9 +159,19 @@ class ConjunctiveQuery:
         return ConjunctiveQuery(renamed_head, renamed_body, self.name)
 
     def signature(self) -> Tuple:
-        """Hashable canonical signature (ignores the query name)."""
-        canonical = self.canonical_form()
-        return (canonical.head, canonical.body)
+        """Hashable canonical signature (ignores the query name).
+
+        The signature is memoised on the instance: it keys every cache of
+        the evaluation engine (rewritings, J-match results), so it is
+        computed far more often than the query changes (never — CQs are
+        immutable).
+        """
+        cached = self.__dict__.get("_signature")
+        if cached is None:
+            canonical = self.canonical_form()
+            cached = (canonical.head, canonical.body)
+            object.__setattr__(self, "_signature", cached)
+        return cached
 
     def __str__(self):
         head = ", ".join(f"?{v.name}" for v in self.head)

@@ -18,9 +18,12 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..errors import UnsafeQueryError
 from .atoms import Atom, Substitution, facts_by_predicate
 from .cq import ConjunctiveQuery
 from .terms import Constant, Term, Variable, is_constant, is_variable
+
+_EMPTY: FrozenSet[Atom] = frozenset()
 
 
 class FactIndex:
@@ -31,21 +34,32 @@ class FactIndex:
     lookups for partially bound atoms (the common case during
     ``J``-matching, where the answer tuple is already substituted into
     the query) proportional to the number of actually matching facts.
+
+    The index is immutable once built: :meth:`candidates` hands out
+    frozenset views of the internal buckets, so callers can never corrupt
+    the index by mutating a returned set (and no defensive copy is paid
+    on the hot path).
     """
 
     def __init__(self, facts: Iterable[Atom]):
-        self._facts: Set[Atom] = set(facts)
-        self._by_predicate: Dict[str, Set[Atom]] = facts_by_predicate(self._facts)
-        self._by_position: Dict[tuple, Set[Atom]] = {}
+        self._facts: FrozenSet[Atom] = frozenset(facts)
+        self._by_predicate: Dict[str, FrozenSet[Atom]] = {
+            predicate: frozenset(bucket)
+            for predicate, bucket in facts_by_predicate(self._facts).items()
+        }
+        by_position: Dict[tuple, Set[Atom]] = {}
         for fact in self._facts:
             for position, argument in enumerate(fact.args):
-                self._by_position.setdefault(
+                by_position.setdefault(
                     (fact.predicate, position, argument), set()
                 ).add(fact)
+        self._by_position: Dict[tuple, FrozenSet[Atom]] = {
+            key: frozenset(bucket) for key, bucket in by_position.items()
+        }
 
     @property
     def facts(self) -> FrozenSet[Atom]:
-        return frozenset(self._facts)
+        return self._facts
 
     def __len__(self) -> int:
         return len(self._facts)
@@ -53,16 +67,20 @@ class FactIndex:
     def __contains__(self, fact: Atom) -> bool:
         return fact in self._facts
 
-    def candidates(self, atom: Atom) -> Set[Atom]:
-        """Facts that could match *atom*, using the most selective index."""
+    def candidates(self, atom: Atom) -> FrozenSet[Atom]:
+        """Facts that could match *atom*, using the most selective index.
+
+        The returned frozenset is a live view of the index bucket, not a
+        copy; it is immutable by construction.
+        """
         best = self._by_predicate.get(atom.predicate)
         if best is None:
-            return set()
+            return _EMPTY
         for position, argument in enumerate(atom.args):
             if is_constant(argument):
                 narrowed = self._by_position.get((atom.predicate, position, argument))
                 if narrowed is None:
-                    return set()
+                    return _EMPTY
                 if len(narrowed) < len(best):
                     best = narrowed
         return best
@@ -76,10 +94,13 @@ def _order_atoms(query: ConjunctiveQuery, index: FactIndex) -> List[Atom]:
     remaining = list(query.body)
     ordered: List[Atom] = []
     bound_vars: Set[Variable] = set()
+    # Candidate counts are selection-independent, so compute them once up
+    # front instead of re-probing the index on every greedy iteration.
+    candidate_count = {atom: len(index.candidates(atom)) for atom in remaining}
 
     def cost(atom: Atom) -> Tuple[int, int]:
         connected = bool(atom.variables() & bound_vars) or not bound_vars
-        return (0 if connected else 1, len(index.candidates(atom)))
+        return (0 if connected else 1, candidate_count[atom])
 
     while remaining:
         best = min(remaining, key=cost)
@@ -122,8 +143,20 @@ def evaluate(
     """Evaluate a CQ, returning the set of answer tuples.
 
     For a boolean query the result is ``{()}`` if the query is satisfied
-    and ``set()`` otherwise.
+    and ``set()`` otherwise.  An unsafe query (a head variable that does
+    not occur in the body, possible for queries constructed outside the
+    validating :class:`~repro.queries.cq.ConjunctiveQuery` constructor)
+    raises :class:`~repro.errors.UnsafeQueryError` instead of leaking a
+    bare ``KeyError`` from the homomorphism lookup.
     """
+    body_variables = query.variables()
+    missing = [v for v in query.head if v not in body_variables]
+    if missing:
+        rendered = ", ".join(v.name for v in missing)
+        raise UnsafeQueryError(
+            f"cannot evaluate unsafe query {query}: head variables "
+            f"{{{rendered}}} do not occur in the body"
+        )
     answers: Set[Tuple[Constant, ...]] = set()
     for homomorphism in iter_homomorphisms(query, facts, index):
         answers.add(tuple(homomorphism[v] for v in query.head))
@@ -221,10 +254,11 @@ def _order_bound_atoms(atoms: Sequence[Atom], index: FactIndex) -> List[Atom]:
     remaining = list(atoms)
     ordered: List[Atom] = []
     bound_vars: Set[Variable] = set()
+    candidate_count = {atom: len(index.candidates(atom)) for atom in remaining}
 
     def cost(atom: Atom):
         connected = bool(atom.variables() & bound_vars) or not bound_vars or not atom.variables()
-        return (0 if connected else 1, len(index.candidates(atom)))
+        return (0 if connected else 1, candidate_count[atom])
 
     while remaining:
         best = min(remaining, key=cost)

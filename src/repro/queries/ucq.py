@@ -144,3 +144,15 @@ class UnionOfConjunctiveQueries:
 
 
 UCQ = UnionOfConjunctiveQueries
+
+
+def query_key(query) -> Tuple:
+    """Hashable, renaming-invariant cache key for a CQ or UCQ.
+
+    Used wherever queries key a cache or a dedup set (perfect-rewriting
+    cache, J-match memo, candidate-pool deduplication), so that
+    syntactically equivalent queries share one entry.
+    """
+    if isinstance(query, ConjunctiveQuery):
+        return ("cq", query.signature())
+    return ("ucq", tuple(sorted(cq.signature() for cq in query.disjuncts)))

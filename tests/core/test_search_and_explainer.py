@@ -262,3 +262,47 @@ class TestOntologyExplainerFacade:
         rows = report.to_rows()
         assert len(rows) == 3
         assert {"rank", "score", "query"} <= set(rows[0])
+
+
+class TestSeparabilityEvaluatesCandidatesOnce:
+    """Regression: exact=False used to parse and profile candidates twice."""
+
+    def _count_check_query(self, monkeypatch):
+        calls = []
+        original = SeparabilityChecker.check_query
+
+        def counting(checker, query):
+            calls.append(str(query))
+            return original(checker, query)
+
+        monkeypatch.setattr(SeparabilityChecker, "check_query", counting)
+        return calls
+
+    def test_candidates_profiled_exactly_once(
+        self, university_explainer, university_labeling, university_queries, monkeypatch
+    ):
+        calls = self._count_check_query(monkeypatch)
+        result = university_explainer.separability(
+            university_labeling,
+            radius=1,
+            candidates=list(university_queries.values()),
+            exact=False,
+        )
+        assert len(calls) == len(university_queries)
+        assert result.separable is None
+        assert result.method == "candidates"
+
+    def test_no_candidates_means_no_evaluation(
+        self, university_explainer, university_labeling, monkeypatch
+    ):
+        calls = self._count_check_query(monkeypatch)
+        result = university_explainer.separability(
+            university_labeling, radius=1, candidates=None, exact=False
+        )
+        assert calls == []
+        assert result.separable is None
+        assert result.method == "candidates"
+
+    def test_exact_decision_unaffected(self, university_explainer, university_labeling):
+        result = university_explainer.separability(university_labeling, radius=1, exact=True)
+        assert result.separable is False

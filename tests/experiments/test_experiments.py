@@ -5,6 +5,7 @@ import pytest
 from repro.experiments import (
     EXPERIMENTS,
     ExperimentResult,
+    run_batch_scoring,
     run_bias_ablation,
     run_border_scalability,
     run_certain_answers,
@@ -106,9 +107,26 @@ class TestExtendedExperiments:
         assert by_bias[1.0]["mentions_group"] or by_bias[1.0]["best_query"] != by_bias[0.0]["best_query"]
 
 
+class TestBatchScoringExperiment:
+    def test_e9_batch_matches_per_call_and_is_faster(self):
+        result = run_batch_scoring(
+            applicants=10, candidate_pool=8, labeled_per_side=2, labelings=2
+        )
+        row = result.rows[0]
+        assert row["identical_rankings"] is True
+        assert row["labelings"] == 2
+        assert row["saturations_saved"] > 0
+        # No wall-clock assertion here: the perf gate lives in
+        # benchmarks/bench_batch_explain.py where the workload is big
+        # enough for timing to be meaningful.
+        assert row["per_call_seconds"] >= 0 and row["batch_seconds"] >= 0
+
+
 class TestHarness:
     def test_registry_covers_design_index(self):
-        assert {"E1", "E2", "E3", "E4", "E5", "E6", "E7a", "E7b", "E8a", "E8b"} <= set(EXPERIMENTS)
+        assert {"E1", "E2", "E3", "E4", "E5", "E6", "E7a", "E7b", "E8a", "E8b", "E9"} <= set(
+            EXPERIMENTS
+        )
 
     def test_run_all_subset(self):
         results = run_all(only=("E1", "E3"))

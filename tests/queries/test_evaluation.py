@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.errors import QueryError, UnsafeQueryError
 from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
 from repro.queries.evaluation import FactIndex, contains_tuple, evaluate, holds, iter_homomorphisms
 from repro.queries.parser import parse_cq
 from repro.queries.terms import Constant, Variable
@@ -113,3 +115,60 @@ class TestIterHomomorphisms:
         query = parse_cq("q(x) :- studies(x, y), taughtIn(y, z)")
         for homomorphism in iter_homomorphisms(query, FACTS):
             assert set(homomorphism) >= {Variable("x"), Variable("y"), Variable("z")}
+
+
+class TestFactIndexImmutability:
+    """Regression: candidates() used to alias mutable internal buckets."""
+
+    def test_candidates_returns_frozenset(self):
+        index = FactIndex(FACTS)
+        bucket = index.candidates(Atom.of("studies", "?x", "?y"))
+        assert isinstance(bucket, frozenset)
+
+    def test_caller_cannot_corrupt_the_index(self):
+        index = FactIndex(FACTS)
+        atom = Atom.of("studies", "?x", "Math")
+        bucket = index.candidates(atom)
+        with pytest.raises(AttributeError):
+            bucket.add(Atom.of("studies", "EVIL", "Math"))  # type: ignore[attr-defined]
+        with pytest.raises(AttributeError):
+            bucket.clear()  # type: ignore[attr-defined]
+        # A derived (mutated) copy must not write through to the index.
+        poisoned = set(bucket)
+        poisoned.add(Atom.of("studies", "EVIL", "Math"))
+        assert index.candidates(atom) == {
+            Atom.of("studies", "A10", "Math"),
+            Atom.of("studies", "B80", "Math"),
+        }
+        query = parse_cq("q(x) :- studies(x, 'Math')")
+        assert evaluate(query, (), index=index) == {(Constant("A10"),), (Constant("B80"),)}
+
+    def test_facts_view_is_frozen(self):
+        index = FactIndex(FACTS)
+        assert isinstance(index.facts, frozenset)
+
+
+def _unsafe_query() -> ConjunctiveQuery:
+    """A head variable missing from the body, bypassing the validating
+    constructor (simulates queries built by external/legacy code paths)."""
+    query = object.__new__(ConjunctiveQuery)
+    object.__setattr__(query, "head", (Variable("x"),))
+    object.__setattr__(query, "body", (Atom.of("studies", "?y", "Math"),))
+    object.__setattr__(query, "name", "unsafe")
+    return query
+
+
+class TestUnsafeQueryEvaluation:
+    """Regression: evaluate() used to leak a bare KeyError for unsafe queries."""
+
+    def test_constructor_still_rejects_unsafe_queries(self):
+        with pytest.raises(UnsafeQueryError):
+            ConjunctiveQuery((Variable("x"),), (Atom.of("studies", "?y", "Math"),))
+
+    def test_evaluate_raises_query_error_not_key_error(self):
+        with pytest.raises(QueryError, match="head variables"):
+            evaluate(_unsafe_query(), FACTS)
+
+    def test_error_names_the_missing_variable(self):
+        with pytest.raises(UnsafeQueryError, match="x"):
+            evaluate(_unsafe_query(), FACTS)
