@@ -1,0 +1,82 @@
+"""E10 — criteria phase: bitset verdict matrix vs. per-pair matching.
+
+The legacy scoring path answers one (candidate, border) J-match question
+at a time and rebuilds a frozenset profile for every (candidate,
+labeling, configuration) triple.  The verdict matrix
+(:mod:`repro.engine.verdicts`) stores each candidate's verdicts as one
+bitset row, shared through the evaluation cache, so re-ranking the same
+pool under another (Δ, Z) configuration is pure popcount arithmetic.
+
+This bench drives the E10 experiment
+(:func:`repro.experiments.scalability.run_bitset_criteria` — one shared
+workload definition, no duplicated harness) at gate-worthy sizes: both
+paths run with warm caches, so the measured ratio isolates the criteria
+phase.  It asserts that rankings are byte-identical between the two
+paths (and between sequential and process-sharded batch scoring), and
+that the bitset path is at least 3× faster (measured speedups are
+5–10×; 3× keeps the gate robust on noisy CI machines).
+
+Profiles (``REPRO_BENCH_PROFILE`` env var, see ``conftest.py``):
+
+* ``quick`` — 36 candidates × 2 labelings × 7 configurations, 32 borders;
+* ``full``  — 44 candidates × 3 labelings × 7 configurations, 40 borders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.scalability import run_bitset_criteria
+
+MIN_SPEEDUP = 3.0
+
+
+@dataclass(frozen=True)
+class BitsetBenchConfig:
+    applicants: int
+    candidate_pool: int
+    labeled_per_side: int
+    labelings: int
+    rounds: int
+
+
+PROFILES = {
+    "quick": BitsetBenchConfig(
+        applicants=40, candidate_pool=36, labeled_per_side=16, labelings=2, rounds=3
+    ),
+    "full": BitsetBenchConfig(
+        applicants=56, candidate_pool=44, labeled_per_side=20, labelings=3, rounds=4
+    ),
+}
+
+
+def test_bench_bitset_criteria(bench_profile):
+    config = PROFILES[bench_profile]
+    result = run_bitset_criteria(
+        applicants=config.applicants,
+        candidate_pool=config.candidate_pool,
+        labeled_per_side=config.labeled_per_side,
+        labelings=config.labelings,
+        rounds=config.rounds,
+    )
+    criteria_row = result.rows[0]
+    sharding_row = result.rows[1]
+
+    assert criteria_row["candidates"] >= 20, "the acceptance gate requires >= 20 candidates"
+    assert criteria_row["labelings"] >= 2, "the acceptance gate requires >= 2 labelings"
+    assert criteria_row["identical_rankings"] is True, (
+        "bitset rankings diverged from the per-pair path"
+    )
+    assert sharding_row["identical_rankings"] is True, (
+        "process-sharded rankings diverged from the sequential path"
+    )
+
+    speedup = criteria_row["speedup"] if criteria_row["speedup"] is not None else float("inf")
+    print()
+    print(f"bitset criteria bench [{bench_profile}]")
+    print(result.render())
+    print(f"  gate: speedup >= {MIN_SPEEDUP} x")
+    assert speedup >= MIN_SPEEDUP, (
+        f"bitset criteria phase only {speedup:.1f}x faster than the per-pair path "
+        f"(required >= {MIN_SPEEDUP}x)"
+    )

@@ -62,7 +62,21 @@ class ScoredQuery:
 
 
 class QueryScorer:
-    """Evaluates Δ, F and Z for queries against one labeling."""
+    """Evaluates Δ, F and Z for queries against one labeling.
+
+    Match profiles come from one of two interchangeable paths:
+
+    * the **bitset path** (default) — a shared
+      :class:`~repro.engine.verdicts.VerdictMatrix` holds one verdict
+      bitset per candidate and profiles are popcount views over rows;
+    * the **legacy per-pair path** — ``MatchEvaluator.profile`` asks one
+      (query, border) question at a time.
+
+    The engine-level switch ``specification.engine.verdicts.enabled``
+    selects the path; *use_verdict_matrix* overrides it per scorer.  The
+    two are verdict-for-verdict identical (pinned by the differential
+    suite), so the choice only affects speed.
+    """
 
     def __init__(
         self,
@@ -71,11 +85,14 @@ class QueryScorer:
         criteria: Sequence[Union[str, Criterion]] = (DELTA_1, DELTA_4, DELTA_5),
         expression: Optional[ScoringExpression] = None,
         registry: CriteriaRegistry = DEFAULT_REGISTRY,
+        use_verdict_matrix: Optional[bool] = None,
     ):
         self.evaluator = evaluator
         self.labeling = labeling
         self.criteria = registry.resolve(criteria)
         self.expression = expression or example_3_8_expression()
+        self._use_verdict_matrix = use_verdict_matrix
+        self._matrix = None
         missing = [
             variable
             for variable in self.expression.variables()
@@ -86,8 +103,37 @@ class QueryScorer:
                 f"scoring expression refers to criteria {missing} that are not in Δ"
             )
 
+    # -- verdict path selection ------------------------------------------
+
+    @property
+    def uses_verdict_matrix(self) -> bool:
+        if self._use_verdict_matrix is not None:
+            return self._use_verdict_matrix
+        return self.evaluator.system.specification.engine.verdicts.enabled
+
+    def verdict_matrix(self):
+        """The labeling's verdict matrix (built lazily, rows shared)."""
+        if self._matrix is None:
+            from ..engine.verdicts import BorderColumns, VerdictMatrix
+
+            columns = BorderColumns.from_labeling(self.evaluator, self.labeling)
+            self._matrix = VerdictMatrix(self.evaluator, columns)
+        return self._matrix
+
+    def prepare(self, candidates: Sequence[OntologyQuery]) -> None:
+        """Precompute verdict rows for a pool in one pass over the borders.
+
+        A no-op on the legacy path; on the bitset path this is what makes
+        ranking a pool "one pass over the border ABox per labeling".
+        """
+        if self.uses_verdict_matrix:
+            self.verdict_matrix().build(candidates)
+
     def context_for(self, query: OntologyQuery) -> EvaluationContext:
-        profile = self.evaluator.profile(query, self.labeling)
+        if self.uses_verdict_matrix:
+            profile = self.verdict_matrix().profile(query)
+        else:
+            profile = self.evaluator.profile(query, self.labeling)
         return EvaluationContext(query, profile, self.labeling, self.evaluator.radius)
 
     def score(self, query: OntologyQuery) -> ScoredQuery:
@@ -133,7 +179,9 @@ class BestDescriptionSearch:
         Ties are broken towards syntactically smaller queries (fewer
         atoms), then lexicographically, so results are deterministic.
         """
-        scored = [self.scorer.score(candidate) for candidate in candidates]
+        pool = list(candidates)
+        self.scorer.prepare(pool)
+        scored = [self.scorer.score(candidate) for candidate in pool]
         scored.sort(key=self._sort_key)
         return scored
 

@@ -36,6 +36,17 @@ class Border:
     radius: int
     layers: Tuple[FrozenSet[Atom], ...]
 
+    def __hash__(self):
+        # Borders key every J-match memo and verdict-row lookup, so their
+        # hash is on the scoring hot path; the fields are deeply frozen,
+        # which makes it safe to compute once and remember.
+        try:
+            return object.__getattribute__(self, "_cached_hash")
+        except AttributeError:
+            value = hash((self.tuple, self.radius, self.layers))
+            object.__setattr__(self, "_cached_hash", value)
+            return value
+
     @property
     def atoms(self) -> FrozenSet[Atom]:
         """All atoms of the border (union of the layers)."""

@@ -21,6 +21,17 @@ kept separate because user-defined weightings refer to them by name (and
 because alternative normalisations may distinguish them).  Applications
 can register additional criteria through :class:`CriteriaRegistry` or by
 passing :class:`Criterion` objects directly.
+
+δ1–δ4 are pure confusion-matrix arithmetic: they only read the four
+match *counts* of the context's profile, never the underlying tuple
+sets.  On the bitset scoring path
+(:mod:`repro.engine.verdicts`) the profile is a
+:class:`~repro.engine.verdicts.BitsetVerdictProfile`, whose counts are
+popcounts over a verdict bitset row — so all six paper criteria reduce
+to integer arithmetic (δ5/δ6 were arithmetic over query syntax
+already).  The property suite in
+``tests/core/test_criteria_properties.py`` pins the numeric coincidence
+and monotonicity laws on both profile representations.
 """
 
 from __future__ import annotations

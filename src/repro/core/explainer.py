@@ -133,6 +133,7 @@ class OntologyExplainer:
         refinement_config: Optional[RefinementConfig] = None,
         top_k: Optional[int] = 10,
         max_workers: Optional[int] = None,
+        executor: str = "thread",
     ) -> List[ExplanationReport]:
         """Explain many labelings in one concurrent pass (one report each).
 
@@ -141,6 +142,10 @@ class OntologyExplainer:
         (labeling, candidate) pairs concurrently but ranks with the same
         deterministic comparator, so reports match query-for-query.
         ``max_workers=1`` forces sequential scoring.
+        ``executor="process"`` shards each candidate pool across worker
+        processes instead of threads (see
+        :class:`~repro.engine.batch.BatchExplainer`); rankings stay
+        sequential-identical either way.
         """
         expression = expression or example_3_8_expression()
         batch = BatchExplainer(
@@ -151,6 +156,7 @@ class OntologyExplainer:
             registry,
             border_computer=self._border_computer,
             max_workers=max_workers,
+            executor=executor,
         )
         parsed = None if candidates is None else [self._parse(c) for c in candidates]
         return batch.explain_batch(

@@ -31,40 +31,27 @@ from .border import Border, BorderComputer
 from .labeling import ConstantTuple, Labeling, RawTuple, normalize_tuple
 
 
-@dataclass(frozen=True)
-class MatchProfile:
-    """Which labelled tuples a query matched, split by label."""
+class MatchStatistics:
+    """Confusion-matrix arithmetic over the four match counts.
 
-    positives_matched: FrozenSet[ConstantTuple]
-    positives_unmatched: FrozenSet[ConstantTuple]
-    negatives_matched: FrozenSet[ConstantTuple]
-    negatives_unmatched: FrozenSet[ConstantTuple]
+    Subclasses provide ``true_positives`` / ``false_negatives`` /
+    ``false_positives`` / ``true_negatives``; everything here derives
+    from those four integers.  :class:`MatchProfile` backs them with
+    frozensets, :class:`~repro.engine.verdicts.BitsetVerdictProfile`
+    with popcounts over a bitset row — sharing this mixin is what makes
+    the criteria functions ``f_δ1``–``f_δ4`` pure count arithmetic on
+    either path.
+    """
 
     # -- counts ---------------------------------------------------------------
 
     @property
     def positive_total(self) -> int:
-        return len(self.positives_matched) + len(self.positives_unmatched)
+        return self.true_positives + self.false_negatives
 
     @property
     def negative_total(self) -> int:
-        return len(self.negatives_matched) + len(self.negatives_unmatched)
-
-    @property
-    def true_positives(self) -> int:
-        return len(self.positives_matched)
-
-    @property
-    def false_negatives(self) -> int:
-        return len(self.positives_unmatched)
-
-    @property
-    def false_positives(self) -> int:
-        return len(self.negatives_matched)
-
-    @property
-    def true_negatives(self) -> int:
-        return len(self.negatives_unmatched)
+        return self.true_negatives + self.false_positives
 
     # -- ratios ------------------------------------------------------------------
 
@@ -104,13 +91,39 @@ class MatchProfile:
 
     def is_perfect_separation(self) -> bool:
         """Conditions (1) and (2) of Section 3: all positives, no negatives."""
-        return not self.positives_unmatched and not self.negatives_matched
+        return self.false_negatives == 0 and self.false_positives == 0
 
     def __str__(self):
         return (
-            f"MatchProfile(+: {self.true_positives}/{self.positive_total}, "
+            f"{type(self).__name__}(+: {self.true_positives}/{self.positive_total}, "
             f"-: {self.false_positives}/{self.negative_total} matched)"
         )
+
+
+@dataclass(frozen=True)
+class MatchProfile(MatchStatistics):
+    """Which labelled tuples a query matched, split by label."""
+
+    positives_matched: FrozenSet[ConstantTuple]
+    positives_unmatched: FrozenSet[ConstantTuple]
+    negatives_matched: FrozenSet[ConstantTuple]
+    negatives_unmatched: FrozenSet[ConstantTuple]
+
+    @property
+    def true_positives(self) -> int:
+        return len(self.positives_matched)
+
+    @property
+    def false_negatives(self) -> int:
+        return len(self.positives_unmatched)
+
+    @property
+    def false_positives(self) -> int:
+        return len(self.negatives_matched)
+
+    @property
+    def true_negatives(self) -> int:
+        return len(self.negatives_unmatched)
 
 
 class MatchEvaluator:

@@ -42,6 +42,27 @@ class ScoringExpression:
             )
 
 
+def _validate_weight_vector(name: str, weights: Tuple[Tuple[str, float], ...]) -> None:
+    """Shared weight checks for the weighted combinators.
+
+    Rejects non-finite weights (they silently poison every score with
+    ``nan``/``inf``) and all-zero weight vectors (the weighted average
+    would divide by zero, the weighted product would constantly be 1) at
+    construction time, where the mistake is visible.
+    """
+    if not weights:
+        raise ScoringError(f"{name} needs at least one weight")
+    for key, weight in weights:
+        if not math.isfinite(weight):
+            raise ScoringError(f"{name} weight for {key!r} must be finite, got {weight}")
+    if all(weight == 0 for _, weight in weights):
+        raise ScoringError(
+            f"{name} received an all-zero weight vector "
+            f"({', '.join(key for key, _ in weights)}); at least one criterion "
+            "must carry non-zero weight"
+        )
+
+
 @dataclass(frozen=True)
 class WeightedAverage(ScoringExpression):
     """``Z = Σ w_δ · z_δ / Σ w_δ`` — the expression of Example 3.8."""
@@ -49,8 +70,7 @@ class WeightedAverage(ScoringExpression):
     weights: Tuple[Tuple[str, float], ...]
 
     def __post_init__(self):
-        if not self.weights:
-            raise ScoringError("WeightedAverage needs at least one weight")
+        _validate_weight_vector("WeightedAverage", self.weights)
         total = sum(weight for _, weight in self.weights)
         if total <= 0:
             raise ScoringError("WeightedAverage weights must sum to a positive number")
@@ -76,8 +96,7 @@ class WeightedProduct(ScoringExpression):
     weights: Tuple[Tuple[str, float], ...]
 
     def __post_init__(self):
-        if not self.weights:
-            raise ScoringError("WeightedProduct needs at least one weight")
+        _validate_weight_vector("WeightedProduct", self.weights)
 
     @staticmethod
     def of(weights: Mapping[str, float]) -> "WeightedProduct":
@@ -90,7 +109,13 @@ class WeightedProduct(ScoringExpression):
         self._require(values)
         product = 1.0
         for key, weight in self.weights:
-            product *= values[key] ** weight
+            value = values[key]
+            if value == 0.0 and weight < 0:
+                raise ScoringError(
+                    f"WeightedProduct cannot raise criterion {key!r} = 0 to the "
+                    f"negative weight {weight}"
+                )
+            product *= value ** weight
         return product
 
 

@@ -24,6 +24,29 @@ components:
     (``specification.engine.cache``) and the J-matching layer
     (:class:`~repro.core.matching.MatchEvaluator`) consults it.
 
+:class:`~repro.engine.verdicts.VerdictMatrix`
+    The bitset verdict engine of the criteria layer.  For one labeling
+    it lays the border individuals out as **columns** (positives first,
+    then negatives, each sorted deterministically —
+    :class:`~repro.engine.verdicts.BorderColumns`) and stores, per
+    candidate query, one int-backed bitset **row** whose bit ``i`` says
+    whether the query J-matches border ``i``.  Rows are built in one
+    pass over the border ABoxes per labeling (borders outer, candidates
+    inner, so each retrieved/saturated ABox is consulted while hot),
+    UCQ rows are the OR of their disjuncts' rows, and completed rows
+    are memoized in the evaluation cache under the layout's
+    content-addressed key, so re-ranking a pool under another (Δ, Z)
+    configuration never re-runs a J-match.
+    :class:`~repro.engine.verdicts.BitsetVerdictProfile` exposes the
+    ``MatchProfile`` interface over a row — the criteria δ1–δ4 become
+    popcount arithmetic.  **Toggle:** the path is controlled by
+    ``specification.engine.verdicts.enabled``
+    (:class:`~repro.engine.cache.VerdictPolicy`), in the same style as
+    ``engine.cache.enabled``; disabling it restores the legacy per-pair
+    path, which the differential suite
+    (``tests/engine/test_verdict_matrix.py``) pins as byte-identical
+    across all four domain ontologies.
+
 :class:`~repro.engine.batch.BatchExplainer`
     Concurrent batch scoring of candidate pools across one or many
     labelings via :mod:`concurrent.futures`, with deterministic result
@@ -32,7 +55,17 @@ components:
     output is query-for-query identical to calling
     :meth:`~repro.core.explainer.OntologyExplainer.explain` in a loop.
     :meth:`~repro.core.explainer.OntologyExplainer.explain_batch` is the
-    public entry point.
+    public entry point.  **Sharding knobs:** ``executor="thread"``
+    (default) scores pairs on a thread pool sharing one in-process
+    cache; ``executor="process"`` splits each candidate pool into
+    contiguous shards and ships (specification, database, labeling,
+    shard) payloads to a ``ProcessPoolExecutor`` — specifications
+    pickle cleanly (locks dropped and rebuilt, memo entries are
+    content-addressed values) and shard results are reassembled in pool
+    order, so rankings stay sequential-identical.  ``max_workers``
+    bounds both executors; process mode needs picklable criteria and
+    expressions (the paper's δ criteria and ready-made expressions
+    qualify).
 
 Quickstart::
 
@@ -44,31 +77,52 @@ Quickstart::
     reports = explainer.explain_batch(
         [lambda_a, lambda_b],                 # many labelings, one pass
         candidates=["q(x) :- studies(x, 'Math')", ...],
+        executor="process",                   # shard pools across processes
     )
 
 Benchmarks: ``benchmarks/bench_batch_explain.py`` measures the cached
 batch path against the seed's per-call path (toggle via
-``EvaluationCache.enabled``) and asserts byte-identical rankings.
+``EvaluationCache.enabled``) and ``benchmarks/bench_bitset_criteria.py``
+gates a ≥3× criteria-phase speedup of the verdict-matrix path over the
+legacy per-pair path (toggle via ``VerdictPolicy.enabled``); both
+assert byte-identical rankings.
 
-Next scaling steps this substrate unlocks (see ROADMAP.md): sharding
-candidate pools across processes, async serving of explanation requests
-with a warm shared cache, and cross-request cache persistence.
+Next scaling steps this substrate unlocks (see ROADMAP.md): async
+serving of explanation requests with a warm shared cache, cross-request
+cache persistence, and SIMD/word-parallel criteria kernels over the
+verdict bitsets.
 """
 
 from __future__ import annotations
 
-from .cache import CacheStats, EvaluationCache
+from .cache import CacheStats, EvaluationCache, VerdictPolicy
 
-__all__ = ["BatchExplainer", "CacheStats", "EvaluationCache"]
+__all__ = [
+    "BatchExplainer",
+    "BitsetVerdictProfile",
+    "BorderColumns",
+    "CacheStats",
+    "EvaluationCache",
+    "VerdictMatrix",
+    "VerdictPolicy",
+]
+
+_LAZY_MODULES = {
+    # These are exposed lazily: importing repro.engine.batch or
+    # repro.engine.verdicts pulls in repro.core, which itself imports
+    # repro.obdm.certain_answers → repro.engine.cache; loading them
+    # eagerly here would close that loop during package initialisation.
+    "BatchExplainer": "batch",
+    "BitsetVerdictProfile": "verdicts",
+    "BorderColumns": "verdicts",
+    "VerdictMatrix": "verdicts",
+}
 
 
 def __getattr__(name: str):
-    # BatchExplainer is exposed lazily: importing repro.engine.batch pulls
-    # in repro.core, which itself imports repro.obdm.certain_answers →
-    # repro.engine.cache; loading it eagerly here would close that loop
-    # during package initialisation.
-    if name == "BatchExplainer":
-        from .batch import BatchExplainer
+    module_name = _LAZY_MODULES.get(name)
+    if module_name is not None:
+        from importlib import import_module
 
-        return BatchExplainer
+        return getattr(import_module(f".{module_name}", __name__), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -3,27 +3,47 @@
 The sequential path scores one (labeling, candidate) pair at a time.
 Batch workloads — "explain these five classifiers over the same system"
 or "score this pool of 200 candidates" — have no data dependencies
-between pairs, so :class:`BatchExplainer` fans them out over a
-:class:`concurrent.futures.ThreadPoolExecutor`.  Correctness rests on
-two invariants:
+between pairs, so :class:`BatchExplainer` fans them out over an
+executor.  Two executor modes are available:
+
+* ``executor="thread"`` (default) — a
+  :class:`concurrent.futures.ThreadPoolExecutor` scores individual
+  (labeling, candidate) pairs; all workers share the specification's
+  evaluation cache in-process;
+* ``executor="process"`` — a
+  :class:`concurrent.futures.ProcessPoolExecutor` shards each candidate
+  pool into contiguous chunks and ships (specification, database,
+  labeling, chunk) payloads to worker processes.  Specifications pickle
+  cleanly (locks are dropped and rebuilt; memo entries are
+  content-addressed values, so warm entries stay valid in the worker),
+  which is what makes the shards self-contained.  Process sharding
+  requires picklable criteria/expressions — the paper's δ criteria and
+  the ready-made expressions all are; lambda-backed ones (e.g.
+  ``PRECISION``) are rejected with a clear error.
+
+Correctness rests on two invariants:
 
 * **shared state is memo-only** — worker threads only touch the
   specification's :class:`~repro.engine.cache.EvaluationCache`, whose
   entries are content-addressed and idempotent to recompute, so races
-  can at worst duplicate work, never corrupt a result;
+  can at worst duplicate work, never corrupt a result (worker
+  *processes* share nothing at all: each shard scores against its own
+  copy of the specification);
 * **deterministic ordering** — results are written into slots indexed
-  by (labeling position, candidate position) and ranked with the exact
-  tie-breaking comparator of the sequential search
-  (:meth:`BestDescriptionSearch._sort_key`), so the batch output is
+  by (labeling position, candidate position) — shard results are
+  reassembled in shard order, which is pool order — and ranked with the
+  exact tie-breaking comparator of the sequential search
+  (:meth:`BestDescriptionSearch._sort_key`), so batch output is
   query-for-query identical to a sequential loop regardless of thread
-  scheduling.
+  or process scheduling.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor, as_completed
-from typing import Iterable, List, Optional, Sequence, Union
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.best_describe import BestDescriptionSearch, ScoredQuery
 from ..core.border import BorderComputer
@@ -33,12 +53,50 @@ from ..core.labeling import Labeling
 from ..core.refinement import RefinementConfig
 from ..core.report import ExplanationReport, build_report
 from ..core.scoring import ScoringExpression, describe_expression, example_3_8_expression
+from ..errors import ExplanationError
 from ..obdm.certain_answers import OntologyQuery
 from ..obdm.system import OBDMSystem
+
+EXECUTORS = ("thread", "process")
 
 
 def _default_workers() -> int:
     return min(8, os.cpu_count() or 1)
+
+
+def _shard_slices(pool_size: int, shard_count: int) -> List[Tuple[int, int]]:
+    """Contiguous, near-even (start, stop) slices covering the pool."""
+    shard_count = max(1, min(shard_count, pool_size))
+    base, remainder = divmod(pool_size, shard_count)
+    slices: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(shard_count):
+        stop = start + base + (1 if index < remainder else 0)
+        slices.append((start, stop))
+        start = stop
+    return slices
+
+
+def _score_shard(shared: bytes, shard: bytes) -> List[ScoredQuery]:
+    """Worker-process entry point: score one candidate shard in isolation.
+
+    *shared* is one pickle of (specification, database, border computer)
+    — identical for every shard, serialized once by the parent; *shard*
+    carries the per-task (labeling, candidates, radius, criteria,
+    expression).  The worker rebuilds the search exactly as the
+    sequential path would and returns the scores in candidate order.
+    Bitset-backed profiles reduce to plain
+    :class:`~repro.core.matching.MatchProfile` objects on the way back,
+    so the parent sees the same values either way.
+    """
+    specification, database, border_computer = pickle.loads(shared)
+    labeling, candidates, radius, criteria, expression = pickle.loads(shard)
+    system = OBDMSystem(specification, database, name="shard")
+    search = BestDescriptionSearch(
+        system, labeling, radius, criteria, expression, DEFAULT_REGISTRY, border_computer
+    )
+    search.scorer.prepare(candidates)
+    return [search.scorer.score(query) for query in candidates]
 
 
 class BatchExplainer:
@@ -53,7 +111,12 @@ class BatchExplainer:
         registry: CriteriaRegistry = DEFAULT_REGISTRY,
         border_computer: Optional[BorderComputer] = None,
         max_workers: Optional[int] = None,
+        executor: str = "thread",
     ):
+        if executor not in EXECUTORS:
+            raise ExplanationError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
         self.system = system
         self.radius = radius
         self.criteria = criteria
@@ -61,6 +124,7 @@ class BatchExplainer:
         self.registry = registry
         self.border_computer = border_computer or BorderComputer(system.database)
         self.max_workers = max_workers if max_workers is not None else _default_workers()
+        self.executor = executor
 
     # -- building blocks --------------------------------------------------
 
@@ -82,6 +146,14 @@ class BatchExplainer:
         pools: Sequence[Sequence[OntologyQuery]],
     ) -> List[List[ScoredQuery]]:
         """Score every (labeling, candidate) pair, preserving pool order."""
+        if self.executor == "process":
+            return self._score_pools_sharded(searches, pools)
+        for search, pool in zip(searches, pools):
+            # Build each labeling's verdict matrix up front (a no-op on
+            # the legacy path): worker threads then only do criteria
+            # arithmetic, instead of racing on the lazy matrix init and
+            # duplicating the one-pass row build.
+            search.scorer.prepare(pool)
         results: List[List[Optional[ScoredQuery]]] = [[None] * len(pool) for pool in pools]
         tasks = [
             (labeling_index, candidate_index, query)
@@ -103,6 +175,71 @@ class BatchExplainer:
             for future in as_completed(futures):
                 labeling_index, candidate_index = futures[future]
                 results[labeling_index][candidate_index] = future.result()
+        return results  # type: ignore[return-value]
+
+    def _pickle_for_sharding(self, value, what: str) -> bytes:
+        try:
+            return pickle.dumps(value)
+        except Exception as error:
+            raise ExplanationError(
+                f"process-sharded scoring needs picklable {what}; the paper's "
+                "δ criteria, the ready-made expressions and every built-in "
+                f"specification qualify, but this configuration does not: {error}"
+            ) from error
+
+    def _score_pools_sharded(
+        self,
+        searches: Sequence[BestDescriptionSearch],
+        pools: Sequence[Sequence[OntologyQuery]],
+    ) -> List[List[ScoredQuery]]:
+        """Shard each pool across worker processes; reassemble in order."""
+        results: List[List[Optional[ScoredQuery]]] = [[None] * len(pool) for pool in pools]
+        # The system state is identical for every shard: serialize it once,
+        # not once per (labeling, shard) task.  The border computer rides
+        # along so workers honour a custom computer exactly like the
+        # sequential and thread paths do (and inherit its warm borders).
+        shared = self._pickle_for_sharding(
+            (self.system.specification, self.system.database, self.border_computer),
+            "specifications",
+        )
+        criteria = self.registry.resolve(self.criteria)
+        tasks: List[Tuple[int, int, bytes]] = []
+        for labeling_index, (search, pool) in enumerate(zip(searches, pools)):
+            for start, stop in _shard_slices(len(pool), self.max_workers):
+                tasks.append(
+                    (
+                        labeling_index,
+                        start,
+                        self._pickle_for_sharding(
+                            (
+                                search.labeling,
+                                pool[start:stop],
+                                self.radius,
+                                criteria,
+                                self.expression,
+                            ),
+                            "criteria and expressions",
+                        ),
+                    )
+                )
+        if not tasks:
+            return results  # type: ignore[return-value]
+        if self.max_workers <= 1:
+            # One worker would serialize anyway; score in-process (the
+            # payloads are still built so pickling problems never hide).
+            for labeling_index, start, payload in tasks:
+                scored = _score_shard(shared, payload)
+                results[labeling_index][start : start + len(scored)] = scored
+            return results  # type: ignore[return-value]
+        with ProcessPoolExecutor(max_workers=self.max_workers) as executor:
+            futures = {
+                executor.submit(_score_shard, shared, payload): (labeling_index, start)
+                for labeling_index, start, payload in tasks
+            }
+            for future in as_completed(futures):
+                labeling_index, start = futures[future]
+                scored = future.result()
+                results[labeling_index][start : start + len(scored)] = scored
         return results  # type: ignore[return-value]
 
     # -- scoring API ------------------------------------------------------

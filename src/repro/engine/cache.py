@@ -15,7 +15,9 @@ specification:
 * **retrieved border ABoxes** — keyed by the border's source atoms;
 * **J-match verdicts** — keyed by query signature × border (the border
   value embeds its tuple, radius and atom layers, so keys are
-  content-addressed and stay valid even if the source database mutates).
+  content-addressed and stay valid even if the source database mutates);
+* **verdict-matrix rows** — bitsets of per-border verdicts, keyed by
+  column layout × query signature (see :mod:`repro.engine.verdicts`).
 
 All keys are content-addressed (frozen values, not object identities),
 which is what makes the cache safely shareable between evaluators,
@@ -48,6 +50,27 @@ from ..queries.ucq import query_key
 Saturator = Callable[[FrozenSet[Atom]], Iterable[Atom]]
 
 
+class VerdictPolicy:
+    """``cache.enabled``-style switch for the bitset verdict-matrix path.
+
+    When ``enabled`` (the default), :class:`~repro.core.best_describe.QueryScorer`
+    computes match profiles through a
+    :class:`~repro.engine.verdicts.VerdictMatrix` — one bitset row per
+    candidate, criteria as popcount arithmetic.  Disabling it restores
+    the legacy per-pair path (``MatchEvaluator.profile``), which the
+    differential test suite and ``benchmarks/bench_bitset_criteria.py``
+    use as the reference implementation.  Every
+    :class:`~repro.obdm.certain_answers.CertainAnswerEngine` owns one
+    (``specification.engine.verdicts``), next to its evaluation cache.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+
+    def __str__(self):
+        return f"VerdictPolicy(enabled={self.enabled})"
+
+
 class CacheStats:
     """Hit/miss counters per memo layer (observability for benchmarks).
 
@@ -65,12 +88,26 @@ class CacheStats:
         "border_abox_misses",
         "match_hits",
         "match_misses",
+        "verdict_row_hits",
+        "verdict_row_misses",
     )
 
     def __init__(self):
         self._lock = threading.Lock()
         for counter in self._COUNTERS:
             setattr(self, counter, 0)
+
+    def __getstate__(self):
+        # Locks cannot cross process boundaries; counters can.  Process-
+        # sharded scoring (repro.engine.batch) pickles specifications, so
+        # the stats object must survive a round-trip.
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def count(self, counter: str) -> None:
         with self._lock:
@@ -110,6 +147,24 @@ class EvaluationCache:
         self._rewritings: Dict[Tuple, object] = {}
         self._border_aboxes: Dict[FrozenSet[Atom], object] = {}
         self._matches: Dict[Tuple, bool] = {}
+        self._verdict_rows: Dict[Hashable, Dict[Tuple, int]] = {}
+
+    # -- pickling ---------------------------------------------------------
+
+    def __getstate__(self):
+        # Process-sharded scoring ships whole specifications to worker
+        # processes.  Locks are recreated on arrival; every memo entry is
+        # a content-addressed value, so warm entries that survive the
+        # pickle round-trip stay valid in the worker.
+        state = dict(self.__dict__)
+        del state["_saturation_locks"]
+        del state["_locks_guard"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._saturation_locks = {}
+        self._locks_guard = threading.Lock()
 
     # -- saturation -------------------------------------------------------
 
@@ -187,6 +242,27 @@ class EvaluationCache:
             self.stats.count("match_hits")
         return verdict
 
+    # -- verdict rows -----------------------------------------------------
+
+    def verdict_rows(self, columns_key: Hashable) -> Dict[Tuple, int]:
+        """The shared row store of one column layout (query key → bitset).
+
+        A :class:`~repro.engine.verdicts.VerdictMatrix` over the same
+        border columns (same labeling, radius and database content, by
+        construction of the key) shares one dict of rows, so candidate
+        verdicts computed by one scorer are reused by every later scorer
+        — across criteria sets, scoring expressions and labelings that
+        happen to induce the same borders.  With the cache disabled each
+        matrix gets a private dict (rows are still computed only once
+        per matrix, mirroring how the per-pair path recomputes verdicts
+        per profile call).
+        """
+        if not self.enabled:
+            return {}
+        # setdefault is atomic under CPython: concurrent scorers of the
+        # same layout always end up sharing one dict.
+        return self._verdict_rows.setdefault(columns_key, {})
+
     # -- maintenance ------------------------------------------------------
 
     def clear(self) -> None:
@@ -197,10 +273,12 @@ class EvaluationCache:
             self._rewritings.clear()
             self._border_aboxes.clear()
             self._matches.clear()
+            self._verdict_rows.clear()
 
     def __str__(self):
         return (
             f"EvaluationCache(enabled={self.enabled}, "
             f"saturated={len(self._saturated)}, rewritings={len(self._rewritings)}, "
-            f"border_aboxes={len(self._border_aboxes)}, matches={len(self._matches)})"
+            f"border_aboxes={len(self._border_aboxes)}, matches={len(self._matches)}, "
+            f"verdict_layouts={len(self._verdict_rows)})"
         )

@@ -1,0 +1,384 @@
+"""Bitset verdict matrices for the criteria layer.
+
+The best-description search needs, for every candidate query, the set of
+border individuals the query J-matches (Definition 3.4).  The legacy
+path asks one (candidate, individual) question at a time and stores the
+answers as frozensets; every criterion evaluation then re-walks those
+sets.  This module packs the same information into *bit matrices*:
+
+* **columns** — the border individuals of one labeling, positives first
+  then negatives, in a deterministic order (:class:`BorderColumns`);
+* **rows** — one Python int per candidate query, bit ``i`` set iff the
+  query J-matches the border of column ``i`` (:class:`VerdictMatrix`);
+* **profiles** — :class:`BitsetVerdictProfile` exposes the familiar
+  :class:`~repro.core.matching.MatchProfile` interface on top of a row,
+  computing the confusion-matrix counts with ``int.bit_count`` so the
+  criteria δ1–δ4 become popcount arithmetic (δ5/δ6 were arithmetic
+  already).
+
+Rows are built in **one pass over the border ABoxes per labeling**:
+the matrix iterates borders in the outer loop and candidates in the
+inner loop, so each border's retrieved ABox (and, under the chase
+strategy, its saturation) is hot in the shared
+:class:`~repro.engine.cache.EvaluationCache` while every candidate's
+verdict against it is recorded.  Individual verdicts still flow through
+``MatchEvaluator.matches_border``, so the J-match memo layer is reused
+unchanged and the bitset path is *verdict-for-verdict identical* to the
+legacy path — the differential suite in
+``tests/engine/test_verdict_matrix.py`` pins that across all four
+domain ontologies.
+
+UCQ rows are the bitwise OR of their disjuncts' rows.  That is sound
+for both answering strategies: the chase path evaluates a UCQ
+disjunct-by-disjunct (``UnionOfConjunctiveQueries.contains_tuple``) and
+the rewriting path rewrites a UCQ into the deduplicated union of its
+disjuncts' rewritings, so a UCQ J-matches a border iff some disjunct
+does.  This makes the greedy union construction of
+:meth:`~repro.core.best_describe.BestDescriptionSearch.best_ucq`
+popcount-cheap once the CQ rows exist.
+
+Completed rows are memoized in the specification's shared cache under
+the column layout's content-addressed key
+(:meth:`EvaluationCache.verdict_rows`), so scoring the same pool under
+a different (Δ, Z) configuration — or from a different scorer — never
+re-runs a J-match.  The whole path is toggled by
+``specification.engine.verdicts.enabled``
+(:class:`~repro.engine.cache.VerdictPolicy`), mirroring the
+``engine.cache.enabled`` switch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.border import Border
+from ..core.labeling import ConstantTuple, Labeling, normalize_tuple
+from ..core.matching import MatchEvaluator, MatchProfile, MatchStatistics
+from ..obdm.certain_answers import OntologyQuery
+from ..queries.cq import ConjunctiveQuery
+from ..queries.ucq import UnionOfConjunctiveQueries, query_key
+
+
+def _sorted_tuples(raws) -> Tuple[ConstantTuple, ...]:
+    return tuple(sorted({normalize_tuple(raw) for raw in raws}, key=repr))
+
+
+class BorderColumns:
+    """The deterministic column layout of one (labeling, radius) pair.
+
+    Columns ``0 .. P-1`` are the positives of ``λ`` and columns
+    ``P .. P+N-1`` the negatives, each sorted by ``repr`` of the
+    normalized tuple, so two scorers over the same labeling always agree
+    on the bit positions.  ``borders`` may be empty for synthetic
+    layouts (property tests build profiles without a database); matrices
+    require it to be populated.
+    """
+
+    __slots__ = (
+        "positive_tuples",
+        "negative_tuples",
+        "borders",
+        "radius",
+        "_key",
+    )
+
+    def __init__(
+        self,
+        positive_tuples: Sequence[ConstantTuple],
+        negative_tuples: Sequence[ConstantTuple],
+        borders: Sequence[Border] = (),
+        radius: int = 0,
+    ):
+        self.positive_tuples = tuple(positive_tuples)
+        self.negative_tuples = tuple(negative_tuples)
+        self.borders = tuple(borders)
+        self.radius = radius
+        self._key = None
+
+    @staticmethod
+    def from_labeling(
+        evaluator: MatchEvaluator, labeling: Labeling, radius: Optional[int] = None
+    ) -> "BorderColumns":
+        """Columns (and their borders) for one labeling, computed once."""
+        radius = evaluator.radius if radius is None else radius
+        positives = _sorted_tuples(labeling.positives)
+        negatives = _sorted_tuples(labeling.negatives)
+        borders = [evaluator.border_of(raw, radius) for raw in positives + negatives]
+        return BorderColumns(positives, negatives, borders, radius)
+
+    @staticmethod
+    def from_tuples(
+        positives: Iterable, negatives: Iterable
+    ) -> "BorderColumns":
+        """A border-less layout (enough for building synthetic profiles)."""
+        return BorderColumns(_sorted_tuples(positives), _sorted_tuples(negatives))
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def tuples(self) -> Tuple[ConstantTuple, ...]:
+        return self.positive_tuples + self.negative_tuples
+
+    @property
+    def positive_count(self) -> int:
+        return len(self.positive_tuples)
+
+    @property
+    def negative_count(self) -> int:
+        return len(self.negative_tuples)
+
+    @property
+    def width(self) -> int:
+        return self.positive_count + self.negative_count
+
+    @property
+    def positives_mask(self) -> int:
+        """Bits of the positive columns: ``0 .. P-1``."""
+        return (1 << self.positive_count) - 1
+
+    @property
+    def negatives_mask(self) -> int:
+        """Bits of the negative columns: ``P .. P+N-1``."""
+        return ((1 << self.negative_count) - 1) << self.positive_count
+
+    def key(self) -> Tuple:
+        """Content-addressed cache key of this layout.
+
+        Borders embed their tuple, radius and atom layers, so the key
+        changes whenever the underlying database content (and hence any
+        verdict) could change — the same addressing discipline as the
+        J-match memo.
+        """
+        if self._key is None:
+            self._key = (
+                "verdict_columns",
+                self.positive_count,
+                self.radius,
+                self.borders,
+            )
+        return self._key
+
+    def __len__(self) -> int:
+        return self.width
+
+    def __str__(self):
+        return (
+            f"BorderColumns(+{self.positive_count}/-{self.negative_count}, "
+            f"radius={self.radius})"
+        )
+
+
+class BitsetVerdictProfile(MatchStatistics):
+    """A match profile backed by one matrix row instead of frozensets.
+
+    All confusion-matrix counts are popcounts (``int.bit_count``) over
+    the row masked by the column layout; the frozenset views of
+    :class:`~repro.core.matching.MatchProfile` are materialized lazily
+    and only when actually accessed (reports only render counts).
+    Equality, hashing and pickling all go through the materialized
+    profile, so bitset-backed and set-backed profiles of the same
+    verdicts compare equal and pickle to plain ``MatchProfile`` objects
+    (which is what process-sharded workers send back).
+    """
+
+    __slots__ = (
+        "row",
+        "columns",
+        "true_positives",
+        "false_negatives",
+        "false_positives",
+        "true_negatives",
+        "_materialized",
+    )
+
+    def __init__(self, row: int, columns: BorderColumns):
+        self.row = row
+        self.columns = columns
+        # The popcounts: every criterion evaluation reads these several
+        # times, so they are computed once up front (two bit_count calls)
+        # rather than per property access.
+        self.true_positives = (row & columns.positives_mask).bit_count()
+        self.false_negatives = columns.positive_count - self.true_positives
+        self.false_positives = (row & columns.negatives_mask).bit_count()
+        self.true_negatives = columns.negative_count - self.false_positives
+        self._materialized: Optional[MatchProfile] = None
+
+    # -- set views (lazy) -------------------------------------------------
+
+    def materialize(self) -> MatchProfile:
+        """The equivalent set-backed :class:`MatchProfile` (cached)."""
+        if self._materialized is None:
+            matched_pos: List[ConstantTuple] = []
+            unmatched_pos: List[ConstantTuple] = []
+            matched_neg: List[ConstantTuple] = []
+            unmatched_neg: List[ConstantTuple] = []
+            split = self.columns.positive_count
+            for bit, value in enumerate(self.columns.tuples):
+                hit = self.row >> bit & 1
+                if bit < split:
+                    (matched_pos if hit else unmatched_pos).append(value)
+                else:
+                    (matched_neg if hit else unmatched_neg).append(value)
+            self._materialized = MatchProfile(
+                positives_matched=frozenset(matched_pos),
+                positives_unmatched=frozenset(unmatched_pos),
+                negatives_matched=frozenset(matched_neg),
+                negatives_unmatched=frozenset(unmatched_neg),
+            )
+        return self._materialized
+
+    @property
+    def positives_matched(self) -> FrozenSet[ConstantTuple]:
+        return self.materialize().positives_matched
+
+    @property
+    def positives_unmatched(self) -> FrozenSet[ConstantTuple]:
+        return self.materialize().positives_unmatched
+
+    @property
+    def negatives_matched(self) -> FrozenSet[ConstantTuple]:
+        return self.materialize().negatives_matched
+
+    @property
+    def negatives_unmatched(self) -> FrozenSet[ConstantTuple]:
+        return self.materialize().negatives_unmatched
+
+    # -- value semantics --------------------------------------------------
+
+    def __eq__(self, other):
+        if isinstance(other, BitsetVerdictProfile):
+            return self.materialize() == other.materialize()
+        if isinstance(other, MatchProfile):
+            return self.materialize() == other
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self.materialize())
+
+    def __reduce__(self):
+        # Pickle as the equivalent plain MatchProfile: the columns object
+        # drags whole borders along and the receiver only needs the sets.
+        profile = self.materialize()
+        return (
+            MatchProfile,
+            (
+                profile.positives_matched,
+                profile.positives_unmatched,
+                profile.negatives_matched,
+                profile.negatives_unmatched,
+            ),
+        )
+
+
+class VerdictMatrix:
+    """All candidates' J-match verdicts against one labeling, as bitsets.
+
+    Rows are dict entries keyed by
+    :func:`~repro.queries.ucq.query_key`, shared through the
+    specification's evaluation cache when it is enabled (see
+    :meth:`EvaluationCache.verdict_rows`), private to the matrix
+    otherwise.
+    """
+
+    def __init__(self, evaluator: MatchEvaluator, columns: BorderColumns):
+        if len(columns.borders) != columns.width:
+            raise ValueError(
+                "VerdictMatrix needs fully populated border columns "
+                f"({len(columns.borders)} borders for {columns.width} columns)"
+            )
+        self.evaluator = evaluator
+        self.columns = columns
+        self._cache = evaluator.system.specification.engine.cache
+        # Computing the layout key hashes whole borders; skip it when the
+        # cache would hand back a private dict anyway.
+        self._rows: Dict[Tuple, int] = (
+            self._cache.verdict_rows(columns.key()) if self._cache.enabled else {}
+        )
+
+    # -- row computation --------------------------------------------------
+
+    def row(self, query: OntologyQuery) -> int:
+        """The verdict bitset of one query (computed at most once)."""
+        key = query_key(query)
+        row = self._rows.get(key)
+        if row is None:
+            self._cache.stats.count("verdict_row_misses")
+            row = self._compute_row(query)
+            self._rows[key] = row
+        else:
+            self._cache.stats.count("verdict_row_hits")
+        return row
+
+    def _compute_row(self, query: OntologyQuery) -> int:
+        if isinstance(query, UnionOfConjunctiveQueries):
+            # A UCQ J-matches a border iff some disjunct does, under both
+            # answering strategies (see the module docstring).
+            union_row = 0
+            for disjunct in query.disjuncts:
+                union_row |= self.row(disjunct)
+            return union_row
+        row = 0
+        for bit, border in enumerate(self.columns.borders):
+            if self.evaluator.matches_border(query, border):
+                row |= 1 << bit
+        return row
+
+    def build(self, candidates: Iterable[OntologyQuery]) -> None:
+        """Fill rows for a whole pool in one pass over the border ABoxes.
+
+        Borders run in the outer loop so each border's retrieved ABox
+        (and chase saturation) is computed once and consulted for every
+        pending candidate while hot; UCQs are reduced to their CQ
+        disjuncts first and OR-combined afterwards.
+        """
+        pending_cqs: List[ConjunctiveQuery] = []
+        pending_keys: List[Tuple] = []
+        deferred_unions: List[UnionOfConjunctiveQueries] = []
+
+        def enqueue_cq(cq: ConjunctiveQuery) -> None:
+            key = query_key(cq)
+            if key not in self._rows and key not in seen:
+                seen.add(key)
+                pending_cqs.append(cq)
+                pending_keys.append(key)
+
+        seen: set = set()
+        for candidate in candidates:
+            if isinstance(candidate, UnionOfConjunctiveQueries):
+                if query_key(candidate) not in self._rows:
+                    deferred_unions.append(candidate)
+                    for disjunct in candidate.disjuncts:
+                        enqueue_cq(disjunct)
+            else:
+                enqueue_cq(candidate)
+
+        if pending_cqs:
+            partial = [0] * len(pending_cqs)
+            for bit, border in enumerate(self.columns.borders):
+                for index, cq in enumerate(pending_cqs):
+                    if self.evaluator.matches_border(cq, border):
+                        partial[index] |= 1 << bit
+            for key, row in zip(pending_keys, partial):
+                self._cache.stats.count("verdict_row_misses")
+                self._rows[key] = row
+
+        for union in deferred_unions:
+            self.row(union)
+
+    # -- consumption ------------------------------------------------------
+
+    def profile(self, query: OntologyQuery) -> BitsetVerdictProfile:
+        """The (popcount-backed) match profile of one query."""
+        return BitsetVerdictProfile(self.row(query), self.columns)
+
+    def matched_positives(self, query: OntologyQuery) -> int:
+        return (self.row(query) & self.columns.positives_mask).bit_count()
+
+    def matched_negatives(self, query: OntologyQuery) -> int:
+        return (self.row(query) & self.columns.negatives_mask).bit_count()
+
+    def known_rows(self) -> int:
+        return len(self._rows)
+
+    def __str__(self):
+        return f"VerdictMatrix({self.columns}, rows={len(self._rows)})"

@@ -20,7 +20,12 @@ from .paper_examples import (
     run_example_3_8,
     run_proposition_3_5,
 )
-from .scalability import run_batch_scoring, run_border_scalability, run_search_scalability
+from .scalability import (
+    run_batch_scoring,
+    run_bitset_criteria,
+    run_border_scalability,
+    run_search_scalability,
+)
 from .tables import ExperimentResult
 
 EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
@@ -35,6 +40,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "E8a": run_weight_ablation,
     "E8b": lambda: run_bias_ablation(persons=30, max_candidates=150),
     "E9": run_batch_scoring,
+    "E10": run_bitset_criteria,
 }
 
 

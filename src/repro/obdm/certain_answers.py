@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple, Union
 
 from ..dl.ontology import Ontology
-from ..engine.cache import EvaluationCache
+from ..engine.cache import EvaluationCache, VerdictPolicy
 from ..errors import CertainAnswerError
 from ..queries.atoms import Atom
 from ..queries.cq import ConjunctiveQuery
@@ -69,6 +69,10 @@ class CertainAnswerEngine:
         self.cache = EvaluationCache(
             saturator=self._chase_facts, rewriter=self._rewriter.rewrite
         )
+        # Toggle for the bitset verdict-matrix scoring path; disabling it
+        # restores the legacy per-pair J-matching path (differential
+        # tests pin the two against each other).
+        self.verdicts = VerdictPolicy()
 
     # -- ABox handling -------------------------------------------------------
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import pytest
 
 from repro.core import BorderComputer, Labeling, MatchEvaluator, OntologyExplainer
@@ -16,6 +18,45 @@ from repro.ontologies.university import (
     build_university_system,
     example_queries,
 )
+
+
+@dataclass(frozen=True)
+class ScoringPath:
+    """One cell of the {legacy, bitset} × {cache on, cache off} matrix.
+
+    ``apply`` flips the two engine-level switches on a *fresh*
+    specification (never apply it to the shared session fixtures) and
+    returns it, so explainer tests can run the same assertions over all
+    four scoring configurations.
+    """
+
+    use_bitset: bool
+    use_cache: bool
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{'bitset' if self.use_bitset else 'legacy'}-"
+            f"{'cache' if self.use_cache else 'nocache'}"
+        )
+
+    def apply(self, specification):
+        specification.engine.verdicts.enabled = self.use_bitset
+        specification.engine.cache.enabled = self.use_cache
+        return specification
+
+
+SCORING_PATHS = tuple(
+    ScoringPath(use_bitset=bitset, use_cache=cache)
+    for bitset in (True, False)
+    for cache in (True, False)
+)
+
+
+@pytest.fixture(params=SCORING_PATHS, ids=lambda path: path.label)
+def scoring_path(request) -> ScoringPath:
+    """Parametrizes explainer tests over {legacy, bitset} × {cache on, off}."""
+    return request.param
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,218 @@
+"""Property-based tests for the criteria layer (δ1–δ6).
+
+Random labelings/profiles (seeded ``random.Random``, no external
+dependency) exercise the algebraic laws the paper's criteria must obey,
+on *both* profile representations — the set-backed
+:class:`~repro.core.matching.MatchProfile` and the popcount-backed
+:class:`~repro.engine.verdicts.BitsetVerdictProfile`:
+
+* δ1/δ2 and δ3/δ4 coincide numerically under the chosen normalisation;
+* δ1 is monotone under adding matched positives (strictly increasing
+  while some positive is still unmatched);
+* δ5/δ6 strictly decrease under atom/disjunct growth;
+* ``Criterion.evaluate`` rejects any value outside ``[0, 1]``;
+* the two representations agree on every count and every criterion.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.criteria import (
+    ACCURACY,
+    DELTA_1,
+    DELTA_2,
+    DELTA_3,
+    DELTA_4,
+    DELTA_5,
+    DELTA_6,
+    F1,
+    PRECISION,
+    Criterion,
+    EvaluationContext,
+)
+from repro.core.labeling import Labeling, normalize_tuple
+from repro.core.matching import MatchProfile
+from repro.engine.verdicts import BitsetVerdictProfile, BorderColumns
+from repro.errors import CriterionError
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+
+TRIALS = 60
+
+_DUMMY_QUERY = ConjunctiveQuery.of(("?x",), (Atom.of("C", "?x"),), name="q_prop")
+
+
+def _random_case(rng: random.Random):
+    """A random labeling with random verdicts, in both representations."""
+    positives = [f"p{i}" for i in range(rng.randint(0, 10))]
+    negatives = [f"n{i}" for i in range(rng.randint(0, 10))]
+    matched = {
+        normalize_tuple(value)
+        for value in positives + negatives
+        if rng.random() < rng.choice((0.2, 0.5, 0.8))
+    }
+    pos_keys = {normalize_tuple(value) for value in positives}
+    neg_keys = {normalize_tuple(value) for value in negatives}
+    profile = MatchProfile(
+        positives_matched=frozenset(pos_keys & matched),
+        positives_unmatched=frozenset(pos_keys - matched),
+        negatives_matched=frozenset(neg_keys & matched),
+        negatives_unmatched=frozenset(neg_keys - matched),
+    )
+    columns = BorderColumns.from_tuples(positives, negatives)
+    row = 0
+    for bit, value in enumerate(columns.tuples):
+        if value in matched:
+            row |= 1 << bit
+    bitset = BitsetVerdictProfile(row, columns)
+    labeling = Labeling(positives, negatives, name="prop")
+    return profile, bitset, labeling
+
+
+def _context(profile, labeling, query=_DUMMY_QUERY) -> EvaluationContext:
+    return EvaluationContext(query=query, profile=profile, labeling=labeling, radius=1)
+
+
+ALL_MATCH_CRITERIA = (DELTA_1, DELTA_2, DELTA_3, DELTA_4, PRECISION, F1, ACCURACY)
+
+
+class TestRepresentationAgreement:
+    def test_bitset_and_set_profiles_agree_everywhere(self):
+        rng = random.Random(20260730)
+        for _ in range(TRIALS):
+            profile, bitset, labeling = _random_case(rng)
+            for name in (
+                "true_positives",
+                "false_negatives",
+                "false_positives",
+                "true_negatives",
+                "positive_total",
+                "negative_total",
+            ):
+                assert getattr(bitset, name) == getattr(profile, name), name
+            assert bitset == profile
+            for criterion in ALL_MATCH_CRITERIA:
+                assert criterion.evaluate(_context(bitset, labeling)) == pytest.approx(
+                    criterion.evaluate(_context(profile, labeling))
+                ), criterion.key
+
+
+class TestNumericCoincidence:
+    def test_delta1_equals_delta2_and_delta3_equals_delta4(self):
+        rng = random.Random(7)
+        for _ in range(TRIALS):
+            profile, bitset, labeling = _random_case(rng)
+            for candidate in (profile, bitset):
+                context = _context(candidate, labeling)
+                assert DELTA_1.evaluate(context) == pytest.approx(DELTA_2.evaluate(context))
+                assert DELTA_3.evaluate(context) == pytest.approx(DELTA_4.evaluate(context))
+
+
+class TestDelta1Monotonicity:
+    def test_adding_a_matched_positive_never_decreases_delta1(self):
+        rng = random.Random(99)
+        for trial in range(TRIALS):
+            profile, _, labeling = _random_case(rng)
+            extra = normalize_tuple(f"extra{trial}")
+            grown_profile = MatchProfile(
+                positives_matched=profile.positives_matched | {extra},
+                positives_unmatched=profile.positives_unmatched,
+                negatives_matched=profile.negatives_matched,
+                negatives_unmatched=profile.negatives_unmatched,
+            )
+            grown_labeling = Labeling(
+                [t for t, label in labeling if label == 1] + [extra],
+                [t for t, label in labeling if label == -1],
+                name="prop_grown",
+            )
+            before = DELTA_1.evaluate(_context(profile, labeling))
+            after = DELTA_1.evaluate(_context(grown_profile, grown_labeling))
+            assert after >= before
+            if profile.false_negatives > 0:
+                assert after > before, "δ1 must strictly increase while positives are missed"
+
+    def test_matching_a_previously_unmatched_positive_increases_delta1(self):
+        rng = random.Random(43)
+        for _ in range(TRIALS):
+            profile, _, labeling = _random_case(rng)
+            if not profile.positives_unmatched:
+                continue
+            moved = next(iter(sorted(profile.positives_unmatched, key=repr)))
+            improved = MatchProfile(
+                positives_matched=profile.positives_matched | {moved},
+                positives_unmatched=profile.positives_unmatched - {moved},
+                negatives_matched=profile.negatives_matched,
+                negatives_unmatched=profile.negatives_unmatched,
+            )
+            assert DELTA_1.evaluate(_context(improved, labeling)) > DELTA_1.evaluate(
+                _context(profile, labeling)
+            )
+
+
+class TestSizeCriteriaStrictDecrease:
+    @staticmethod
+    def _cq_with_atoms(count: int) -> ConjunctiveQuery:
+        atoms = tuple(Atom.of(f"P{i}", "?x") for i in range(count))
+        return ConjunctiveQuery.of(("?x",), atoms, name=f"q_{count}")
+
+    def test_delta5_strictly_decreases_with_atom_count(self):
+        rng = random.Random(5)
+        profile, _, labeling = _random_case(rng)
+        for _ in range(TRIALS):
+            smaller = rng.randint(1, 8)
+            larger = smaller + rng.randint(1, 5)
+            small_value = DELTA_5.evaluate(
+                _context(profile, labeling, self._cq_with_atoms(smaller))
+            )
+            large_value = DELTA_5.evaluate(
+                _context(profile, labeling, self._cq_with_atoms(larger))
+            )
+            assert large_value < small_value
+
+    def test_delta6_strictly_decreases_with_disjunct_count(self):
+        rng = random.Random(6)
+        profile, _, labeling = _random_case(rng)
+        for _ in range(TRIALS):
+            smaller = rng.randint(1, 5)
+            larger = smaller + rng.randint(1, 4)
+
+            def union(count: int) -> UnionOfConjunctiveQueries:
+                return UnionOfConjunctiveQueries.of(
+                    self._cq_with_atoms(i + 1) for i in range(count)
+                )
+
+            assert DELTA_6.evaluate(
+                _context(profile, labeling, union(larger))
+            ) < DELTA_6.evaluate(_context(profile, labeling, union(smaller)))
+
+
+class TestRangeEnforcement:
+    def test_out_of_range_values_are_rejected(self):
+        rng = random.Random(1234)
+        profile, bitset, labeling = _random_case(rng)
+        for _ in range(TRIALS):
+            value = rng.choice(
+                (
+                    rng.uniform(1.0000001, 50.0),
+                    rng.uniform(-50.0, -0.0000001),
+                    float("nan"),
+                    float("inf"),
+                    -float("inf"),
+                )
+            )
+            bad = Criterion("bad", "returns out-of-range values", lambda _ctx, v=value: v)
+            with pytest.raises(CriterionError):
+                bad.evaluate(_context(profile, labeling))
+            with pytest.raises(CriterionError):
+                bad.evaluate(_context(bitset, labeling))
+
+    def test_boundary_values_are_accepted(self):
+        rng = random.Random(4321)
+        profile, _, labeling = _random_case(rng)
+        for value in (0.0, 1.0, 0.5):
+            ok = Criterion("ok", "in range", lambda _ctx, v=value: v)
+            assert ok.evaluate(_context(profile, labeling)) == value

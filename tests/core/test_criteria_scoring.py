@@ -145,3 +145,40 @@ class TestScoringExpressions:
     def test_ready_made_expressions(self):
         assert set(balanced_expression().variables()) == {"delta1", "delta4"}
         assert "delta5" in fidelity_first_expression().variables()
+
+
+class TestWeightVectorRegressions:
+    """All-zero / degenerate weight vectors must fail with ScoringError.
+
+    Regression: the weighted combinators used to let degenerate vectors
+    through to ``score``, where they surfaced as ``ZeroDivisionError``
+    (``0.0 ** negative_weight``) or silent ``nan`` scores instead of a
+    clear configuration error.
+    """
+
+    def test_weighted_average_all_zero_vector_rejected(self):
+        with pytest.raises(ScoringError, match="all-zero weight vector"):
+            WeightedAverage.of({"delta1": 0.0, "delta4": 0.0, "delta5": 0.0})
+
+    def test_weighted_product_all_zero_vector_rejected(self):
+        with pytest.raises(ScoringError, match="all-zero weight vector"):
+            WeightedProduct.of({"delta1": 0.0, "delta4": 0.0})
+
+    def test_weighted_average_non_finite_weight_rejected(self):
+        with pytest.raises(ScoringError, match="finite"):
+            WeightedAverage.of({"delta1": float("nan"), "delta4": 1.0})
+        with pytest.raises(ScoringError, match="finite"):
+            WeightedProduct.of({"delta1": float("inf")})
+
+    def test_weighted_product_zero_to_negative_weight_is_scoring_error(self):
+        expression = WeightedProduct.of({"delta1": -1.0, "delta4": 1.0})
+        try:
+            expression.score({"delta1": 0.0, "delta4": 0.5})
+        except ScoringError as error:
+            assert "negative weight" in str(error)
+        else:  # pragma: no cover - the regression would resurface here
+            raise AssertionError("expected ScoringError, not ZeroDivisionError")
+
+    def test_single_nonzero_weight_still_accepted(self):
+        expression = WeightedAverage.of({"delta1": 1.0, "delta4": 0.0})
+        assert expression.score({"delta1": 0.5, "delta4": 1.0}) == pytest.approx(0.5)

@@ -1,0 +1,267 @@
+"""Differential tests: bitset verdict engine vs. the legacy per-pair path.
+
+The bitset path (``repro.engine.verdicts``) must be *indistinguishable*
+from the legacy per-pair path: same scores, same rankings, same rendered
+reports, same profiles — for all four domain ontologies, with the
+evaluation cache on or off, and with process-sharded scoring on top.
+The legacy path with the shared cache enabled is the reference; every
+other cell of the {legacy, bitset} × {cache on, off} matrix (the
+``scoring_path`` fixture from ``tests/conftest.py``) is compared against
+it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labeling import Labeling
+from repro.core.matching import MatchEvaluator, MatchProfile
+from repro.core.explainer import OntologyExplainer
+from repro.engine.verdicts import BitsetVerdictProfile, BorderColumns, VerdictMatrix
+from repro.obdm.system import OBDMSystem
+from repro.ontologies.compas import build_compas_specification
+from repro.ontologies.loans import build_loan_specification
+from repro.ontologies.movies import build_movie_specification
+from repro.ontologies.university import build_university_database, build_university_specification
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.workloads.compas_gen import CompasWorkloadConfig, generate_compas_workload
+from repro.workloads.loans_gen import LoanWorkloadConfig, generate_loan_workload
+from repro.workloads.movies_gen import MovieWorkloadConfig, generate_movie_workload
+
+
+# -- small deterministic systems per domain ----------------------------------
+
+
+def _university():
+    specification = build_university_specification()
+    return specification, build_university_database(specification.schema)
+
+
+def _compas():
+    specification = build_compas_specification()
+    database = generate_compas_workload(CompasWorkloadConfig(persons=12, seed=11)).database
+    return specification, database
+
+
+def _loans():
+    specification = build_loan_specification()
+    database = generate_loan_workload(LoanWorkloadConfig(applicants=12, seed=7)).database
+    return specification, database
+
+
+def _movies():
+    specification = build_movie_specification()
+    database = generate_movie_workload(
+        MovieWorkloadConfig(movies=8, directors=3, viewers=5, critics=2, seed=3)
+    ).database
+    return specification, database
+
+
+DOMAIN_BUILDERS = {
+    "university": _university,
+    "compas": _compas,
+    "loans": _loans,
+    "movies": _movies,
+}
+
+DOMAINS = sorted(DOMAIN_BUILDERS)
+
+
+def _system(domain: str) -> OBDMSystem:
+    specification, database = DOMAIN_BUILDERS[domain]()
+    return OBDMSystem(specification, database, name=f"{domain}_verdicts")
+
+
+def _labeling(system: OBDMSystem) -> Labeling:
+    constants = sorted(system.domain(), key=repr)[:6]
+    return Labeling(positives=constants[:3], negatives=constants[3:6], name="probe")
+
+
+def _candidate_pool(system: OBDMSystem):
+    """Concept/role CQs, one two-atom CQ and one UCQ per domain."""
+    ontology = system.ontology
+    concepts = sorted(ontology.concept_names)[:3]
+    roles = sorted(ontology.role_names)[:2]
+    pool = [
+        ConjunctiveQuery.of(("?x",), (Atom.of(concept, "?x"),), name=f"q_{concept}")
+        for concept in concepts
+    ]
+    pool.extend(
+        ConjunctiveQuery.of(("?x",), (Atom.of(role, "?x", "?y"),), name=f"q_{role}")
+        for role in roles
+    )
+    if len(concepts) >= 2:
+        pool.append(
+            ConjunctiveQuery.of(
+                ("?x",),
+                (Atom.of(concepts[0], "?x"), Atom.of(roles[0], "?x", "?y")),
+                name="q_conj",
+            )
+        )
+        pool.append(
+            UnionOfConjunctiveQueries.of(
+                (pool[0], pool[1]),
+                name="q_union",
+            )
+        )
+    return pool
+
+
+_REFERENCE_CACHE = {}
+
+
+def _reference_report(domain: str):
+    """The legacy-path (cache on) report, computed once per domain."""
+    if domain not in _REFERENCE_CACHE:
+        system = _system(domain)
+        system.specification.engine.verdicts.enabled = False
+        report = OntologyExplainer(system).explain(
+            _labeling(system), candidates=_candidate_pool(system), top_k=None
+        )
+        _REFERENCE_CACHE[domain] = report
+    return _REFERENCE_CACHE[domain]
+
+
+# -- the differential matrix --------------------------------------------------
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+def test_all_paths_identical_to_legacy(domain, scoring_path):
+    """Scores, rankings, reports and profiles across {path} × {cache}."""
+    reference = _reference_report(domain)
+    system = _system(domain)
+    scoring_path.apply(system.specification)
+    report = OntologyExplainer(system).explain(
+        _labeling(system), candidates=_candidate_pool(system), top_k=None
+    )
+    assert report.render(top_k=None) == reference.render(top_k=None), (
+        f"{domain}: {scoring_path.label} report diverged from the legacy path"
+    )
+    for expected, actual in zip(reference.explanations, report.explanations):
+        assert str(actual.query) == str(expected.query)
+        assert actual.score == expected.score
+        assert actual.criterion_values == expected.criterion_values
+        assert actual.profile == expected.profile, (
+            f"{domain}: {scoring_path.label} profile diverged for {expected.query}"
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("domain", DOMAINS)
+def test_process_sharding_identical_to_legacy(domain):
+    """Sharded scoring across worker processes stays sequential-identical."""
+    reference = _reference_report(domain)
+    system = _system(domain)
+    labeling = _labeling(system)
+    pool = _candidate_pool(system)
+    reports = OntologyExplainer(system).explain_batch(
+        [labeling], candidates=pool, executor="process", max_workers=2, top_k=None
+    )
+    assert len(reports) == 1
+    assert reports[0].render(top_k=None) == reference.render(top_k=None), (
+        f"{domain}: process-sharded report diverged from the legacy path"
+    )
+
+
+@pytest.mark.slow
+def test_process_sharding_on_bitset_and_legacy_paths():
+    """Sharding composes with both scoring paths and several labelings."""
+    system = _system("university")
+    labeling = _labeling(system)
+    second = Labeling(
+        positives=sorted(system.domain(), key=repr)[:2],
+        negatives=sorted(system.domain(), key=repr)[4:6],
+        name="probe_b",
+    )
+    pool = _candidate_pool(system)
+    explainer = OntologyExplainer(system)
+    sequential = explainer.explain_batch(
+        [labeling, second], candidates=pool, max_workers=1, top_k=None
+    )
+    for use_bitset in (True, False):
+        system.specification.engine.verdicts.enabled = use_bitset
+        sharded = explainer.explain_batch(
+            [labeling, second], candidates=pool, executor="process", max_workers=2, top_k=None
+        )
+        for expected, actual in zip(sequential, sharded):
+            assert actual.render(top_k=None) == expected.render(top_k=None)
+
+
+# -- unit tests of the matrix itself ------------------------------------------
+
+
+class TestVerdictMatrixUnit:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        system = _system("university")
+        labeling = _labeling(system)
+        evaluator = MatchEvaluator(system, radius=1)
+        columns = BorderColumns.from_labeling(evaluator, labeling)
+        matrix = VerdictMatrix(evaluator, columns)
+        return system, labeling, evaluator, columns, matrix
+
+    def test_rows_agree_with_per_pair_verdicts(self, setup):
+        system, labeling, evaluator, columns, matrix = setup
+        for query in _candidate_pool(system):
+            row = matrix.row(query)
+            for bit, border in enumerate(columns.borders):
+                assert bool(row >> bit & 1) == evaluator.matches_border(query, border)
+
+    def test_ucq_row_is_or_of_disjunct_rows(self, setup):
+        system, _, _, _, matrix = setup
+        pool = _candidate_pool(system)
+        cqs = [q for q in pool if isinstance(q, ConjunctiveQuery)][:2]
+        union = UnionOfConjunctiveQueries.of(cqs)
+        assert matrix.row(union) == matrix.row(cqs[0]) | matrix.row(cqs[1])
+
+    def test_bitset_profile_counts_match_materialized_sets(self, setup):
+        system, labeling, evaluator, _, matrix = setup
+        for query in _candidate_pool(system):
+            profile = matrix.profile(query)
+            assert isinstance(profile, BitsetVerdictProfile)
+            materialized = profile.materialize()
+            assert isinstance(materialized, MatchProfile)
+            assert profile.true_positives == materialized.true_positives
+            assert profile.false_negatives == materialized.false_negatives
+            assert profile.false_positives == materialized.false_positives
+            assert profile.true_negatives == materialized.true_negatives
+            assert profile == materialized
+            assert hash(profile) == hash(materialized)
+            # And both agree with the per-pair evaluator.
+            assert materialized == evaluator.profile(query, labeling)
+
+    def test_column_masks_are_disjoint_and_cover_the_width(self, setup):
+        _, labeling, _, columns, _ = setup
+        assert columns.positive_count == len(labeling.positives)
+        assert columns.negative_count == len(labeling.negatives)
+        assert columns.positives_mask & columns.negatives_mask == 0
+        assert columns.positives_mask | columns.negatives_mask == (1 << columns.width) - 1
+
+    def test_build_fills_rows_in_one_pass(self, setup):
+        system, labeling, evaluator, _, _ = setup
+        fresh_columns = BorderColumns.from_labeling(evaluator, labeling)
+        system.specification.engine.cache.enabled = False
+        try:
+            matrix = VerdictMatrix(evaluator, fresh_columns)
+            pool = _candidate_pool(system)
+            matrix.build(pool)
+            # UCQs are stored too (via OR), on top of their CQ disjuncts.
+            assert matrix.known_rows() >= len(pool)
+        finally:
+            system.specification.engine.cache.enabled = True
+
+    def test_shared_rows_are_reused_across_scorers(self):
+        system = _system("university")
+        labeling = _labeling(system)
+        pool = _candidate_pool(system)
+        explainer = OntologyExplainer(system)
+        explainer.explain(labeling, candidates=pool)
+        stats = system.specification.engine.cache.stats
+        misses_after_first = stats.verdict_row_misses
+        explainer.explain(labeling, candidates=pool)
+        assert stats.verdict_row_misses == misses_after_first, (
+            "a second explain over the same labeling recomputed verdict rows"
+        )
+        assert stats.verdict_row_hits > 0

@@ -122,9 +122,28 @@ class TestBatchScoringExperiment:
         assert row["per_call_seconds"] >= 0 and row["batch_seconds"] >= 0
 
 
+class TestBitsetCriteriaExperiment:
+    def test_e10_bitset_matches_legacy_and_sharding_is_identical(self):
+        from repro.experiments.scalability import run_bitset_criteria
+
+        result = run_bitset_criteria(
+            applicants=12, candidate_pool=8, labeled_per_side=3, labelings=2, rounds=1
+        )
+        criteria_row, sharding_row = result.rows
+        assert criteria_row["mode"] == "criteria_phase"
+        assert criteria_row["identical_rankings"] is True
+        assert criteria_row["verdict_rows_reused"] > 0
+        assert sharding_row["mode"] == "process_sharding"
+        assert sharding_row["identical_rankings"] is True
+        # No wall-clock assertion here: the perf gate lives in
+        # benchmarks/bench_bitset_criteria.py where the workload is big
+        # enough for timing to be meaningful.
+        assert criteria_row["legacy_seconds"] >= 0 and criteria_row["bitset_seconds"] >= 0
+
+
 class TestHarness:
     def test_registry_covers_design_index(self):
-        assert {"E1", "E2", "E3", "E4", "E5", "E6", "E7a", "E7b", "E8a", "E8b", "E9"} <= set(
+        assert {"E1", "E2", "E3", "E4", "E5", "E6", "E7a", "E7b", "E8a", "E8b", "E9", "E10"} <= set(
             EXPERIMENTS
         )
 
