@@ -12,6 +12,8 @@ Ontology-Based Data Management (OBDM) stack built from scratch:
 * :mod:`repro.ml`         — from-scratch classifiers producing the labelings λ;
 * :mod:`repro.core`       — borders, J-matching, criteria, Z-scores, explainer;
 * :mod:`repro.engine`     — shared evaluation cache + concurrent batch scoring;
+* :mod:`repro.service`    — long-lived explanation serving (warm cache, eviction,
+  persistence, incremental verdict maintenance);
 * :mod:`repro.ontologies` — ready-made domain ontologies (university, loans, ...);
 * :mod:`repro.workloads`  — deterministic synthetic data generators;
 * :mod:`repro.experiments`— the harness reproducing the paper's numbers.
@@ -36,7 +38,7 @@ from .core import (
     example_3_8_expression,
 )
 from .dl import Ontology, parse_ontology
-from .engine import BatchExplainer, EvaluationCache
+from .engine import BatchExplainer, CacheLimits, EvaluationCache
 from .obdm import (
     Mapping,
     MappingAssertion,
@@ -46,13 +48,16 @@ from .obdm import (
     SourceSchema,
 )
 from .queries import ConjunctiveQuery, UnionOfConjunctiveQueries, parse_cq, parse_ucq
+from .service import ExplanationService
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BatchExplainer",
+    "CacheLimits",
     "ConjunctiveQuery",
     "EvaluationCache",
+    "ExplanationService",
     "Labeling",
     "Mapping",
     "MappingAssertion",

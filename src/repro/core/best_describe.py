@@ -37,7 +37,7 @@ from .criteria import (
     EvaluationContext,
     evaluate_criteria,
 )
-from .labeling import Labeling
+from .labeling import Labeling, normalize_tuple
 from .matching import MatchEvaluator, MatchProfile
 from .refinement import RefinementConfig, RefinementSearch
 from .scoring import ScoringExpression, example_3_8_expression
@@ -86,13 +86,17 @@ class QueryScorer:
         expression: Optional[ScoringExpression] = None,
         registry: CriteriaRegistry = DEFAULT_REGISTRY,
         use_verdict_matrix: Optional[bool] = None,
+        matrix=None,
     ):
         self.evaluator = evaluator
         self.labeling = labeling
         self.criteria = registry.resolve(criteria)
         self.expression = expression or example_3_8_expression()
         self._use_verdict_matrix = use_verdict_matrix
-        self._matrix = None
+        # A pre-built VerdictMatrix may be injected so long-lived services
+        # can serve repeated requests from one warm matrix (the caller
+        # guarantees it was built for this labeling, evaluator and radius).
+        self._matrix = matrix
         missing = [
             variable
             for variable in self.expression.variables()
@@ -164,12 +168,47 @@ class BestDescriptionSearch:
         expression: Optional[ScoringExpression] = None,
         registry: CriteriaRegistry = DEFAULT_REGISTRY,
         border_computer: Optional[BorderComputer] = None,
+        evaluator: Optional[MatchEvaluator] = None,
+        matrix=None,
     ):
         self.system = system
         self.labeling = labeling
         self.radius = radius
-        self.evaluator = MatchEvaluator(system, radius, border_computer)
-        self.scorer = QueryScorer(self.evaluator, labeling, criteria, expression, registry)
+        # A long-lived caller (repro.service) may pass its own warm
+        # evaluator (shared border-ABox cache) and a pre-built verdict
+        # matrix for this labeling; both default to fresh objects.
+        if evaluator is not None:
+            if evaluator.radius != radius:
+                raise ExplanationError(
+                    f"injected evaluator has radius {evaluator.radius}, search needs {radius}"
+                )
+            if evaluator.system is not system:
+                raise ExplanationError(
+                    "injected evaluator was built over a different OBDM system"
+                )
+        if matrix is not None:
+            columns = matrix.columns
+            if matrix.evaluator.system is not system:
+                # Verdict bits reflect the borders of the database the
+                # matrix was built over; a matrix from another system
+                # would pass the column checks below and silently score
+                # against the wrong data.
+                raise ExplanationError(
+                    "injected verdict matrix was built over a different OBDM system"
+                )
+            if columns.radius != radius or (
+                set(columns.positive_tuples) != {normalize_tuple(t) for t in labeling.positives}
+                or set(columns.negative_tuples) != {normalize_tuple(t) for t in labeling.negatives}
+            ):
+                raise ExplanationError(
+                    f"injected verdict matrix was built for another labeling or "
+                    f"radius ({columns}, search needs radius {radius} over "
+                    f"{labeling})"
+                )
+        self.evaluator = evaluator or MatchEvaluator(system, radius, border_computer)
+        self.scorer = QueryScorer(
+            self.evaluator, labeling, criteria, expression, registry, matrix=matrix
+        )
 
     # -- ranking a given candidate set ----------------------------------------------
 

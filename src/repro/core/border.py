@@ -47,13 +47,36 @@ class Border:
             object.__setattr__(self, "_cached_hash", value)
             return value
 
+    def __getstate__(self):
+        # The cached hash must never cross a process boundary: Python
+        # string hashing is salted per process (PYTHONHASHSEED), so a
+        # pickled hash is stale in any other interpreter and would make
+        # persisted memo entries keyed by borders unreachable after a
+        # snapshot load (and equal keys non-identical).  The cached atom
+        # union is dropped too — it is derivable content that would only
+        # fatten snapshots and shard payloads.  Both are recomputed
+        # lazily in the receiving process.
+        state = dict(self.__dict__)
+        state.pop("_cached_hash", None)
+        state.pop("_cached_atoms", None)
+        return state
+
     @property
     def atoms(self) -> FrozenSet[Atom]:
-        """All atoms of the border (union of the layers)."""
-        collected: Set[Atom] = set()
-        for layer in self.layers:
-            collected |= layer
-        return frozenset(collected)
+        """All atoms of the border (union of the layers, computed once).
+
+        Cached like the hash: the shared border-ABox layer is keyed by
+        this frozenset, so it is rebuilt on every J-match miss otherwise.
+        """
+        try:
+            return object.__getattribute__(self, "_cached_atoms")
+        except AttributeError:
+            collected: Set[Atom] = set()
+            for layer in self.layers:
+                collected |= layer
+            value = frozenset(collected)
+            object.__setattr__(self, "_cached_atoms", value)
+            return value
 
     def layer(self, index: int) -> FrozenSet[Atom]:
         """``W_{t,index}(D)`` (empty beyond the last non-empty layer)."""
@@ -86,11 +109,23 @@ class Border:
 
 
 class BorderComputer:
-    """Computes and caches borders over one source database."""
+    """Computes and caches borders over one source database.
 
-    def __init__(self, database: SourceDatabase):
+    *capacity* bounds the border cache with LRU eviction (``None`` keeps
+    the unbounded seed behaviour, right for one-shot searches).
+    Long-lived owners — the explanation service keeps one computer for
+    its whole lifetime — pass a capacity so memory does not grow with
+    every distinct labeled tuple ever served; an evicted border is
+    simply recomputed on the next request that needs it.
+    """
+
+    def __init__(self, database: SourceDatabase, capacity: Optional[int] = None, stats=None):
+        from ..engine.cache import LRUStore
+
         self.database = database
-        self._cache: Dict[Tuple[ConstantTuple, int], Border] = {}
+        # *stats* (a CacheStats) makes border evictions visible in the
+        # shared ``evictions`` counter, like every other bounded layer.
+        self._cache = LRUStore(capacity=capacity, stats=stats)
 
     # -- layer computation ---------------------------------------------------
 
@@ -135,7 +170,7 @@ class BorderComputer:
         cached = self._cache.get(cache_key)
         if cached is None:
             cached = Border(key, radius, tuple(self.layers(key, radius)))
-            self._cache[cache_key] = cached
+            self._cache.put(cache_key, cached)
         return cached
 
     def borders(self, raws: Iterable[RawTuple], radius: int) -> Dict[ConstantTuple, Border]:

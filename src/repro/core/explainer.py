@@ -40,6 +40,49 @@ from .scoring import ScoringExpression, describe_expression, example_3_8_express
 from .separability import SeparabilityChecker, SeparabilityResult
 
 
+def execute_search(
+    search: BestDescriptionSearch,
+    expression: ScoringExpression,
+    candidates: Optional[Iterable[Union[str, OntologyQuery]]] = None,
+    strategy: str = "enumerate",
+    candidate_config: Optional[CandidateConfig] = None,
+    refinement_config: Optional[RefinementConfig] = None,
+    top_k: Optional[int] = 10,
+) -> ExplanationReport:
+    """Rank one request's candidate pool and assemble its report.
+
+    The shared tail of every explanation request —
+    :meth:`OntologyExplainer.explain` and
+    :meth:`repro.service.ExplanationService.explain` both delegate here,
+    which is what keeps the service's "semantically identical to a fresh
+    explainer" contract structural rather than copy-paste.
+    """
+    if candidates is not None:
+        parsed = [
+            parse_query(candidate) if isinstance(candidate, str) else candidate
+            for candidate in candidates
+        ]
+        ranking = search.rank(parsed)
+        candidate_count = len(parsed)
+    else:
+        ranking = search.search(
+            strategy=strategy,
+            candidate_config=candidate_config,
+            refinement_config=refinement_config,
+        )
+        candidate_count = len(ranking)
+    criteria_keys = [criterion.key for criterion in search.scorer.criteria]
+    return build_report(
+        search.labeling,
+        search.radius,
+        criteria_keys,
+        describe_expression(expression),
+        ranking,
+        candidate_count,
+        top_k=top_k,
+    )
+
+
 class OntologyExplainer:
     """Explains a binary classifier through queries over the ontology."""
 
@@ -98,25 +141,13 @@ class OntologyExplainer:
         search = BestDescriptionSearch(
             self.system, labeling, radius, criteria, expression, registry, self._border_computer
         )
-        if candidates is not None:
-            parsed = [self._parse(candidate) for candidate in candidates]
-            ranking = search.rank(parsed)
-            candidate_count = len(parsed)
-        else:
-            ranking = search.search(
-                strategy=strategy,
-                candidate_config=candidate_config,
-                refinement_config=refinement_config,
-            )
-            candidate_count = len(ranking)
-        criteria_keys = [criterion.key for criterion in search.scorer.criteria]
-        return build_report(
-            labeling,
-            radius,
-            criteria_keys,
-            self._describe_expression(expression),
-            ranking,
-            candidate_count,
+        return execute_search(
+            search,
+            expression,
+            candidates=candidates,
+            strategy=strategy,
+            candidate_config=candidate_config,
+            refinement_config=refinement_config,
             top_k=top_k,
         )
 
@@ -167,6 +198,21 @@ class OntologyExplainer:
             refinement_config=refinement_config,
             top_k=top_k,
         )
+
+    def service(self, **kwargs) -> "ExplanationService":
+        """A long-lived :class:`~repro.service.ExplanationService` over Σ.
+
+        The service shares this explainer's system (and therefore its
+        specification's evaluation cache); keyword arguments are passed
+        through (``radius``, ``criteria``, ``expression``,
+        ``cache_limits``, ``max_sessions``).  Use it when the same
+        system must answer many ``explain`` requests: repeated and
+        drifting labelings are then served from warm verdict matrices
+        instead of rebuilt per call.
+        """
+        from ..service import ExplanationService
+
+        return ExplanationService(self.system, **kwargs)
 
     def best_query(
         self,

@@ -10,6 +10,7 @@ from fitted classifiers of :mod:`repro.ml`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import ExplanationError
@@ -21,6 +22,37 @@ ConstantTuple = Tuple[Constant, ...]
 
 POSITIVE = 1
 NEGATIVE = -1
+
+
+@dataclass(frozen=True)
+class LabelingDrift:
+    """The edit script turning one labeling into another.
+
+    ``added`` pairs each new tuple with its label, ``removed`` lists
+    tuples that left the labeling entirely and ``flipped`` the tuples
+    whose label changed sign.  This is the unit of incremental verdict
+    maintenance: :meth:`repro.engine.verdicts.VerdictMatrix.apply_drift`
+    consumes exactly this shape, and
+    :class:`repro.service.ExplanationService` computes it via
+    :meth:`Labeling.diff` when a warm labeling drifts between requests.
+    """
+
+    added: Tuple[Tuple[ConstantTuple, int], ...] = ()
+    removed: Tuple[ConstantTuple, ...] = ()
+    flipped: Tuple[ConstantTuple, ...] = ()
+
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.flipped)
+
+    def magnitude(self) -> int:
+        """How many labelled tuples the drift touches."""
+        return len(self.added) + len(self.removed) + len(self.flipped)
+
+    def __str__(self):
+        return (
+            f"LabelingDrift(+{len(self.added)}, -{len(self.removed)}, "
+            f"±{len(self.flipped)})"
+        )
 
 
 def normalize_tuple(raw: RawTuple) -> ConstantTuple:
@@ -136,6 +168,33 @@ class Labeling:
     def tuples(self) -> FrozenSet[ConstantTuple]:
         """The domain of the partial function (``λ+ ∪ λ-``)."""
         return frozenset(self._positives | self._negatives)
+
+    def signature(self) -> Tuple[FrozenSet[ConstantTuple], FrozenSet[ConstantTuple]]:
+        """Content-addressed identity of the labeling (name ignored).
+
+        Two labelings with the same signature induce the same borders,
+        columns and verdicts, so services key warm sessions by it.
+        """
+        return (frozenset(self._positives), frozenset(self._negatives))
+
+    def diff(self, other: "Labeling") -> LabelingDrift:
+        """The :class:`LabelingDrift` turning ``self`` into *other*.
+
+        Deterministic: each component is sorted by ``repr`` of the
+        normalized tuple, the same order the verdict-matrix columns use.
+        """
+        added = [
+            (t, POSITIVE) for t in other._positives - self._positives - self._negatives
+        ] + [
+            (t, NEGATIVE) for t in other._negatives - self._positives - self._negatives
+        ]
+        removed = (self._positives | self._negatives) - other._positives - other._negatives
+        flipped = (self._positives & other._negatives) | (self._negatives & other._positives)
+        return LabelingDrift(
+            added=tuple(sorted(added, key=lambda entry: repr(entry[0]))),
+            removed=tuple(sorted(removed, key=repr)),
+            flipped=tuple(sorted(flipped, key=repr)),
+        )
 
     def label_of(self, raw: RawTuple) -> Optional[int]:
         """``+1``, ``-1`` or ``None`` (the function is partial)."""

@@ -144,13 +144,22 @@ class MatchEvaluator:
         return self.borders.border(raw, self.radius if radius is None else radius)
 
     def _border_abox(self, border: Border) -> VirtualABox:
+        # The shared cache keys the retrieval by the border's atom set, so
+        # evaluators over the same specification reuse each other's
+        # retrieved ABoxes — and, unlike a per-evaluator dict, that layer
+        # is LRU-bounded under CacheLimits.  A long-lived evaluator (the
+        # explanation service keeps one per radius) must not shadow it
+        # with an unbounded private dict that would pin every ABox ever
+        # retrieved; the private dict is kept only when the shared cache
+        # is disabled, preserving the seed's per-evaluator lookup (and
+        # its staleness semantics w.r.t. database mutation).
+        if self._shared_cache.enabled:
+            return self._shared_cache.border_abox(
+                border.atoms, lambda: self._retrieve_border_abox(border)
+            )
         key = (border.tuple, border.radius)
         abox = self._abox_cache.get(key)
         if abox is None:
-            # The shared cache keys the retrieval by the border's atom set,
-            # so evaluators over the same specification reuse each other's
-            # retrieved ABoxes; the local dict keeps the seed's per-evaluator
-            # lookup (and its staleness semantics w.r.t. database mutation).
             abox = self._shared_cache.border_abox(
                 border.atoms, lambda: self._retrieve_border_abox(border)
             )

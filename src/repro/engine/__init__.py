@@ -95,14 +95,16 @@ verdict bitsets.
 
 from __future__ import annotations
 
-from .cache import CacheStats, EvaluationCache, VerdictPolicy
+from .cache import CacheLimits, CacheStats, EvaluationCache, LRUStore, VerdictPolicy
 
 __all__ = [
     "BatchExplainer",
     "BitsetVerdictProfile",
     "BorderColumns",
+    "CacheLimits",
     "CacheStats",
     "EvaluationCache",
+    "LRUStore",
     "VerdictMatrix",
     "VerdictPolicy",
 ]

@@ -77,7 +77,7 @@ def _shard_slices(pool_size: int, shard_count: int) -> List[Tuple[int, int]]:
     return slices
 
 
-def _score_shard(shared: bytes, shard: bytes) -> List[ScoredQuery]:
+def _score_shard(shared: bytes, shard: bytes) -> Tuple[List[ScoredQuery], dict]:
     """Worker-process entry point: score one candidate shard in isolation.
 
     *shared* is one pickle of (specification, database, border computer)
@@ -88,15 +88,25 @@ def _score_shard(shared: bytes, shard: bytes) -> List[ScoredQuery]:
     Bitset-backed profiles reduce to plain
     :class:`~repro.core.matching.MatchProfile` objects on the way back,
     so the parent sees the same values either way.
+
+    Alongside the scores, the worker returns the *delta* of its cache
+    counters over the shard (the rebuilt cache starts from the parent's
+    pickled counts, so the raw values would double-count).  The parent
+    merges the deltas into its own stats, keeping hit/miss/eviction
+    numbers truthful under sharding instead of silently dropping every
+    worker-side count with the discarded worker caches.
     """
     specification, database, border_computer = pickle.loads(shared)
     labeling, candidates, radius, criteria, expression = pickle.loads(shard)
     system = OBDMSystem(specification, database, name="shard")
+    stats = specification.engine.cache.stats
+    baseline = stats.as_dict()
     search = BestDescriptionSearch(
         system, labeling, radius, criteria, expression, DEFAULT_REGISTRY, border_computer
     )
     search.scorer.prepare(candidates)
-    return [search.scorer.score(query) for query in candidates]
+    scores = [search.scorer.score(query) for query in candidates]
+    return scores, stats.delta_since(baseline)
 
 
 class BatchExplainer:
@@ -224,11 +234,13 @@ class BatchExplainer:
                 )
         if not tasks:
             return results  # type: ignore[return-value]
+        parent_stats = self.system.specification.engine.cache.stats
         if self.max_workers <= 1:
             # One worker would serialize anyway; score in-process (the
             # payloads are still built so pickling problems never hide).
             for labeling_index, start, payload in tasks:
-                scored = _score_shard(shared, payload)
+                scored, stats_delta = _score_shard(shared, payload)
+                parent_stats.merge(stats_delta)
                 results[labeling_index][start : start + len(scored)] = scored
             return results  # type: ignore[return-value]
         with ProcessPoolExecutor(max_workers=self.max_workers) as executor:
@@ -238,7 +250,8 @@ class BatchExplainer:
             }
             for future in as_completed(futures):
                 labeling_index, start = futures[future]
-                scored = future.result()
+                scored, stats_delta = future.result()
+                parent_stats.merge(stats_delta)
                 results[labeling_index][start : start + len(scored)] = scored
         return results  # type: ignore[return-value]
 

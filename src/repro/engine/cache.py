@@ -36,18 +36,48 @@ seed's per-call behaviour for the hot layers (saturation, border-ABox
 retrieval, J-matching) while keeping the rewriting memo, which the seed
 already had; the benchmark ``benchmarks/bench_batch_explain.py`` uses
 that switch to measure the speedup honestly.
+
+Lifecycle (for long-lived services, :mod:`repro.service`)
+---------------------------------------------------------
+
+A one-shot batch computation can let the memos grow without bound; a
+resident service cannot.  Three lifecycle features keep a warm cache
+useful across millions of requests:
+
+* **bounded layers** — :class:`CacheLimits` caps the entry count of the
+  expensive layers (saturations, border ABoxes, verdict-row layouts and
+  J-match verdicts) with per-layer LRU eviction (:class:`LRUStore`);
+  evictions are counted in :attr:`CacheStats.evictions` and the current
+  occupancy is reported by :meth:`EvaluationCache.size_report`;
+* **snapshot persistence** — :meth:`EvaluationCache.save` writes the
+  content-addressed memo state to disk and
+  :meth:`EvaluationCache.load` merges it back, so a restarted service
+  starts warm.  Only values are persisted, never the injected
+  callables, and the snapshot is version-stamped;
+* **eviction-aware sharing** — consumers that hold a reference to a
+  shared verdict-row store (a live
+  :class:`~repro.engine.verdicts.VerdictMatrix`) can ask
+  :meth:`EvaluationCache.has_verdict_layout` whether their layout is
+  still resident; an evicted layout means the matrix no longer feeds
+  the shared store and should be rebuilt rather than reused.
 """
 
 from __future__ import annotations
 
+import pickle
 import threading
-from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
 from ..queries.atoms import Atom
 from ..queries.evaluation import FactIndex
 from ..queries.ucq import query_key
 
 Saturator = Callable[[FrozenSet[Atom]], Iterable[Atom]]
+
+SNAPSHOT_VERSION = 1
+SNAPSHOT_MAGIC = "repro-evaluation-cache"
 
 
 class VerdictPolicy:
@@ -72,7 +102,7 @@ class VerdictPolicy:
 
 
 class CacheStats:
-    """Hit/miss counters per memo layer (observability for benchmarks).
+    """Hit/miss/eviction counters per memo layer (benchmark observability).
 
     Increments go through a lock: ``+=`` on an attribute is a
     read-modify-write that can drop counts when batch-scoring worker
@@ -90,6 +120,7 @@ class CacheStats:
         "match_misses",
         "verdict_row_hits",
         "verdict_row_misses",
+        "evictions",
     )
 
     def __init__(self):
@@ -113,12 +144,192 @@ class CacheStats:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + 1)
 
+    def merge(self, deltas: Dict[str, int]) -> None:
+        """Fold another stats snapshot (or delta) into these counters.
+
+        Process-sharded scoring computes each shard's counters in the
+        worker and ships the *delta* back (see
+        :func:`repro.engine.batch._score_shard`); merging them here keeps
+        hit/miss/eviction numbers truthful under sharding.  Unknown keys
+        are ignored so snapshots from older layouts merge cleanly.
+        """
+        with self._lock:
+            for counter, value in deltas.items():
+                if counter in self._COUNTERS and value:
+                    setattr(self, counter, getattr(self, counter) + value)
+
     def as_dict(self) -> Dict[str, int]:
         return {counter: getattr(self, counter) for counter in self._COUNTERS}
 
+    def delta_since(self, baseline: Dict[str, int]) -> Dict[str, int]:
+        """Counter increments since *baseline* (an :meth:`as_dict` snapshot)."""
+        return {
+            counter: getattr(self, counter) - baseline.get(counter, 0)
+            for counter in self._COUNTERS
+        }
+
     def __str__(self):
         rendered = ", ".join(f"{key}={value}" for key, value in self.as_dict().items())
-        return f"CacheStats({rendered})"
+        return f"{type(self).__name__}({rendered})"
+
+
+@dataclass(frozen=True)
+class CacheLimits:
+    """Per-layer entry caps for a long-lived cache (``None`` = unbounded).
+
+    The rewriting memo stays unbounded on purpose: rewritings are tiny,
+    few (one per canonical query signature) and the seed engine already
+    kept them forever.  The four bounded layers are the ones that grow
+    with traffic — distinct ABoxes, borders, column layouts and (query,
+    border) pairs.
+    """
+
+    saturations: Optional[int] = None
+    border_aboxes: Optional[int] = None
+    verdict_layouts: Optional[int] = None
+    matches: Optional[int] = None
+
+    def __str__(self):
+        return (
+            f"CacheLimits(saturations={self.saturations}, "
+            f"border_aboxes={self.border_aboxes}, "
+            f"verdict_layouts={self.verdict_layouts}, matches={self.matches})"
+        )
+
+
+class LRUStore:
+    """A thread-safe memo store with optional LRU bounding.
+
+    Backed by an :class:`collections.OrderedDict`; a hit refreshes the
+    entry's recency, an insert beyond ``capacity`` evicts the least
+    recently used entry and reports it to the shared
+    :class:`CacheStats.evictions` counter.  With ``capacity=None`` the
+    store behaves like the unbounded dicts it replaced.  Locks are
+    dropped on pickling and rebuilt on arrival (same discipline as the
+    cache itself).
+    """
+
+    def __init__(self, capacity: Optional[int] = None, stats: Optional[CacheStats] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"LRUStore capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._stats = stats
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- pickling ---------------------------------------------------------
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- dict-like access -------------------------------------------------
+
+    def get(self, key: Hashable, touch: bool = True):
+        with self._lock:
+            if key not in self._entries:
+                return None
+            if touch:
+                self._entries.move_to_end(key)
+            return self._entries[key]
+
+    def put(self, key: Hashable, value) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self._evict_over_capacity()
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], object]):
+        """The entry under *key*, created (and recency-refreshed) atomically."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            value = self._entries[key] = factory()
+            self._evict_over_capacity()
+            return value
+
+    def get_or_create_cold(self, key: Hashable, factory: Callable[[], object]):
+        """Like :meth:`get_or_create`, but without promoting recency.
+
+        A live entry is returned untouched and a missing one is created
+        at the *cold* end.  Snapshot loading uses this so persisted
+        layouts can never evict hotter live ones (same contract as
+        :meth:`merge_missing`); at capacity the cold insert may evict
+        itself immediately, which only wastes the merge, never live heat.
+        """
+        with self._lock:
+            if key in self._entries:
+                return self._entries[key]
+            value = self._entries[key] = factory()
+            self._entries.move_to_end(key, last=False)
+            self._evict_over_capacity()
+            return value
+
+    def _evict_over_capacity(self) -> None:
+        # Caller holds the lock.  (CacheStats has its own lock and never
+        # takes ours, so counting from here cannot deadlock.)
+        if self.capacity is None:
+            return
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            if self._stats is not None:
+                self._stats.count("evictions")
+
+    def set_capacity(self, capacity: Optional[int]) -> None:
+        """Change the bound, evicting LRU entries already over it."""
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"LRUStore capacity must be >= 1 or None, got {capacity}")
+        with self._lock:
+            self.capacity = capacity
+            self._evict_over_capacity()
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self) -> List[Tuple[Hashable, object]]:
+        """A snapshot of (key, value) pairs, oldest first."""
+        with self._lock:
+            return list(self._entries.items())
+
+    def merge_missing(self, entries: Iterable[Tuple[Hashable, object]]) -> int:
+        """Insert entries that are not yet present; returns how many were.
+
+        Used by snapshot loading: live entries always win over persisted
+        ones (they are newer), and merged entries respect the capacity
+        bound.  Persisted entries enter at the *cold* end of the LRU
+        order — when live + persisted overflow the capacity, the
+        snapshot overflow evicts itself, never a hotter live entry.
+        *entries* is expected oldest-first (an :meth:`items` snapshot);
+        front-inserting in reverse preserves that order among the
+        persisted cohort, so the hottest persisted entries are the last
+        of the cohort to be evicted.
+        """
+        inserted: List[Hashable] = []
+        with self._lock:
+            for key, value in reversed(list(entries)):
+                if key not in self._entries:
+                    self._entries[key] = value
+                    self._entries.move_to_end(key, last=False)
+                    inserted.append(key)
+                    self._evict_over_capacity()
+            # Cold inserts may evict themselves (or an earlier cold
+            # insert) at capacity; only survivors count as added, so
+            # callers are never told the cache is warmer than it is.
+            return sum(1 for key in inserted if key in self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
 
 
 class EvaluationCache:
@@ -134,20 +345,30 @@ class EvaluationCache:
         once per canonical query signature (always memoized; the seed
         engine already cached rewritings, so disabling the cache does
         not disable this layer).
+    limits:
+        Optional :class:`CacheLimits` bounding the hot layers with LRU
+        eviction; reconfigurable later via :meth:`configure_limits`.
     """
 
-    def __init__(self, saturator: Saturator, rewriter: Callable, enabled: bool = True):
+    def __init__(
+        self,
+        saturator: Saturator,
+        rewriter: Callable,
+        enabled: bool = True,
+        limits: Optional[CacheLimits] = None,
+    ):
         self._saturator = saturator
         self._rewriter = rewriter
         self.enabled = enabled
         self.stats = CacheStats()
-        self._saturated: Dict[Hashable, FactIndex] = {}
+        self.limits = limits or CacheLimits()
+        self._saturated = LRUStore(self.limits.saturations, self.stats)
         self._saturation_locks: Dict[Hashable, threading.Lock] = {}
         self._locks_guard = threading.Lock()
         self._rewritings: Dict[Tuple, object] = {}
-        self._border_aboxes: Dict[FrozenSet[Atom], object] = {}
-        self._matches: Dict[Tuple, bool] = {}
-        self._verdict_rows: Dict[Hashable, Dict[Tuple, int]] = {}
+        self._border_aboxes = LRUStore(self.limits.border_aboxes, self.stats)
+        self._matches = LRUStore(self.limits.matches, self.stats)
+        self._verdict_rows = LRUStore(self.limits.verdict_layouts, self.stats)
 
     # -- pickling ---------------------------------------------------------
 
@@ -165,6 +386,126 @@ class EvaluationCache:
         self.__dict__.update(state)
         self._saturation_locks = {}
         self._locks_guard = threading.Lock()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def configure_limits(self, limits: CacheLimits) -> None:
+        """Apply new per-layer caps, evicting LRU entries already over them."""
+        self.limits = limits
+        self._saturated.set_capacity(limits.saturations)
+        self._border_aboxes.set_capacity(limits.border_aboxes)
+        self._matches.set_capacity(limits.matches)
+        self._verdict_rows.set_capacity(limits.verdict_layouts)
+
+    def size_report(self) -> Dict[str, int]:
+        """Entry counts per layer (verdict rows also summed across layouts)."""
+        return {
+            "saturations": len(self._saturated),
+            "rewritings": len(self._rewritings),
+            "border_aboxes": len(self._border_aboxes),
+            "matches": len(self._matches),
+            "verdict_layouts": len(self._verdict_rows),
+            "verdict_rows": sum(len(rows) for _, rows in self._verdict_rows.items()),
+        }
+
+    # -- persistence ------------------------------------------------------
+
+    def snapshot_state(self, fingerprint: Optional[str] = None) -> Dict[str, object]:
+        """The persistable memo state (values only, never the callables)."""
+        return {
+            "magic": SNAPSHOT_MAGIC,
+            "version": SNAPSHOT_VERSION,
+            "fingerprint": fingerprint,
+            "saturated": self._saturated.items(),
+            "rewritings": dict(self._rewritings),
+            "border_aboxes": self._border_aboxes.items(),
+            "matches": self._matches.items(),
+            "verdict_rows": [
+                (layout, dict(rows)) for layout, rows in self._verdict_rows.items()
+            ],
+        }
+
+    def save(self, path, fingerprint: Optional[str] = None) -> Dict[str, int]:
+        """Persist the memo state to *path*; returns the size report saved.
+
+        *fingerprint* (when given) stamps the snapshot with the identity
+        of the specification the memos were computed under, so
+        :meth:`load` can refuse a snapshot from a different one.
+        """
+        with open(path, "wb") as handle:
+            pickle.dump(self.snapshot_state(fingerprint), handle)
+        return self.size_report()
+
+    def load(self, path, fingerprint: Optional[str] = None) -> Dict[str, int]:
+        """Merge a saved snapshot back in; returns entries *surviving* per layer.
+
+        Live entries win over persisted ones, merged entries respect the
+        configured limits (entering at the cold end of each layer, so
+        snapshot overflow evicts itself, never live heat), and
+        verdict-row stores merge row-by-row so a layout that is warm
+        both on disk and in memory keeps the union of its rows.  Keys
+        are content-addressed *within one specification*: when both
+        sides supply a *fingerprint* it must match, because a snapshot
+        computed under a different ontology or mapping maps equal keys
+        to different values (``CertainAnswerEngine.load_cache`` always
+        passes one).
+        """
+        with open(path, "rb") as handle:
+            state = pickle.load(handle)
+        if not isinstance(state, dict) or state.get("magic") != SNAPSHOT_MAGIC:
+            raise ValueError(f"{path} is not an evaluation-cache snapshot")
+        if state.get("version") != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"snapshot version {state.get('version')!r} is not supported "
+                f"(expected {SNAPSHOT_VERSION})"
+            )
+        stamped = state.get("fingerprint")
+        if fingerprint is not None and stamped is not None and stamped != fingerprint:
+            raise ValueError(
+                f"{path} was saved against a different specification "
+                "(fingerprint mismatch); loading it would serve stale memo values"
+            )
+        rewritings_added = 0
+        for key, value in state["rewritings"].items():
+            if key not in self._rewritings:
+                self._rewritings[key] = value
+                rewritings_added += 1
+        if not self.enabled:
+            # The hot layers short-circuit on ``enabled`` and would never
+            # serve merged entries — reporting them as added would make a
+            # cold cache look warm.  Only the rewriting memo (which stays
+            # active when the cache is disabled) is worth merging.
+            return {
+                "saturations": 0,
+                "border_aboxes": 0,
+                "matches": 0,
+                "rewritings": rewritings_added,
+                "verdict_rows": 0,
+            }
+        added = {
+            "saturations": self._saturated.merge_missing(state["saturated"]),
+            "border_aboxes": self._border_aboxes.merge_missing(state["border_aboxes"]),
+            "matches": self._matches.merge_missing(state["matches"]),
+        }
+        added["rewritings"] = rewritings_added
+        merged_layouts = []
+        # Reversed for the same cohort-order reason as merge_missing.
+        for layout, rows in reversed(state["verdict_rows"]):
+            live = self._verdict_rows.get_or_create_cold(layout, dict)
+            merged = 0
+            for key, row in rows.items():
+                if key not in live:
+                    live[key] = row
+                    merged += 1
+            merged_layouts.append((layout, live, merged))
+        # Like the scalar layers: only rows whose layout survived the
+        # cold-end insert (and is still the same store) count as added.
+        added["verdict_rows"] = sum(
+            merged
+            for layout, live, merged in merged_layouts
+            if self._verdict_rows.get(layout, touch=False) is live
+        )
+        return added
 
     # -- saturation -------------------------------------------------------
 
@@ -191,9 +532,16 @@ class EvaluationCache:
             if index is None:
                 self.stats.count("saturation_misses")
                 index = FactIndex(self._saturator(facts))
-                self._saturated[memo_key] = index
+                self._saturated.put(memo_key, index)
             else:
                 self.stats.count("saturation_hits")
+        # The per-key lock has done its duty (the entry is memoized); keep
+        # the lock table from growing with every distinct key a resident
+        # service ever saturates.  A thread still holding this lock object
+        # re-checks the memo inside it, and a later recreation can at
+        # worst duplicate one idempotent chase.
+        with self._locks_guard:
+            self._saturation_locks.pop(memo_key, None)
         return index
 
     # -- rewritings -------------------------------------------------------
@@ -221,7 +569,7 @@ class EvaluationCache:
         if abox is None:
             self.stats.count("border_abox_misses")
             abox = compute()
-            self._border_aboxes[atoms] = abox
+            self._border_aboxes.put(atoms, abox)
         else:
             self.stats.count("border_abox_hits")
         return abox
@@ -237,7 +585,7 @@ class EvaluationCache:
         if verdict is None:
             self.stats.count("match_misses")
             verdict = compute()
-            self._matches[key] = verdict
+            self._matches.put(key, verdict)
         else:
             self.stats.count("match_hits")
         return verdict
@@ -256,12 +604,36 @@ class EvaluationCache:
         matrix gets a private dict (rows are still computed only once
         per matrix, mirroring how the per-pair path recomputes verdicts
         per profile call).
+
+        Under a ``verdict_layouts`` limit the *layout* is the eviction
+        unit: evicting one drops all its rows at once, and any live
+        matrix holding the evicted dict stops feeding the shared store
+        (see :meth:`has_verdict_layout`).
         """
         if not self.enabled:
             return {}
-        # setdefault is atomic under CPython: concurrent scorers of the
-        # same layout always end up sharing one dict.
-        return self._verdict_rows.setdefault(columns_key, {})
+        return self._verdict_rows.get_or_create(columns_key, dict)
+
+    def touch_verdict_layout(self, columns_key: Hashable) -> bool:
+        """Refresh an existing layout's LRU recency; ``False`` if evicted.
+
+        Never *creates* an entry: re-registering an evicted layout with a
+        fresh empty dict would make a disconnected matrix look live
+        forever while an orphan occupied a ``verdict_layouts`` slot.
+        """
+        if not self.enabled:
+            return False
+        return self._verdict_rows.get(columns_key, touch=True) is not None
+
+    def has_verdict_layout(self, columns_key: Hashable) -> bool:
+        """Whether a layout's row store is still resident (no recency touch).
+
+        The liveness probe behind
+        :meth:`~repro.engine.verdicts.VerdictMatrix.is_live`: consumers
+        that cached a matrix across requests call this before reusing it,
+        and rebuild when eviction has disconnected their row store.
+        """
+        return self.enabled and self._verdict_rows.get(columns_key, touch=False) is not None
 
     # -- maintenance ------------------------------------------------------
 

@@ -52,8 +52,15 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.border import Border
-from ..core.labeling import ConstantTuple, Labeling, normalize_tuple
+from ..core.labeling import (
+    NEGATIVE,
+    POSITIVE,
+    ConstantTuple,
+    Labeling,
+    normalize_tuple,
+)
 from ..core.matching import MatchEvaluator, MatchProfile, MatchStatistics
+from ..errors import ExplanationError
 from ..obdm.certain_answers import OntologyQuery
 from ..queries.cq import ConjunctiveQuery
 from ..queries.ucq import UnionOfConjunctiveQueries, query_key
@@ -294,12 +301,46 @@ class VerdictMatrix:
         self._rows: Dict[Tuple, int] = (
             self._cache.verdict_rows(columns.key()) if self._cache.enabled else {}
         )
+        # Queries whose rows *this* matrix computed or migrated, keyed like
+        # the rows.  apply_drift needs the query objects back (row keys are
+        # not invertible) to evaluate fresh columns; rows contributed to the
+        # shared store by other matrices are simply not migrated.
+        self._known_queries: Dict[Tuple, OntologyQuery] = {}
+
+    # -- lifecycle --------------------------------------------------------
+
+    def is_live(self) -> bool:
+        """Whether this matrix still feeds the shared row store.
+
+        ``False`` once the cache has evicted the matrix's column layout:
+        the rows dict this matrix holds is then disconnected from the
+        shared store, so long-lived consumers (the explanation service's
+        warm sessions) must rebuild instead of reusing the matrix.  A
+        matrix built with the cache disabled owns its rows privately and
+        is always live.
+        """
+        if not self._cache.enabled:
+            return True
+        return self._cache.has_verdict_layout(self.columns.key())
+
+    def touch(self) -> None:
+        """Refresh this layout's recency in the cache's eviction order.
+
+        Warm consumers read rows through their own reference to the
+        shared dict, which the LRU layer cannot observe; a long-lived
+        owner (the explanation service) calls this on every warm reuse
+        so the hottest layouts are the last to be evicted, not the
+        first.  A no-op once the layout has been evicted (recreating it
+        empty would fake liveness and waste a layout slot).
+        """
+        self._cache.touch_verdict_layout(self.columns.key())
 
     # -- row computation --------------------------------------------------
 
     def row(self, query: OntologyQuery) -> int:
         """The verdict bitset of one query (computed at most once)."""
         key = query_key(query)
+        self._known_queries.setdefault(key, query)
         row = self._rows.get(key)
         if row is None:
             self._cache.stats.count("verdict_row_misses")
@@ -337,6 +378,7 @@ class VerdictMatrix:
 
         def enqueue_cq(cq: ConjunctiveQuery) -> None:
             key = query_key(cq)
+            self._known_queries.setdefault(key, cq)
             if key not in self._rows and key not in seen:
                 seen.add(key)
                 pending_cqs.append(cq)
@@ -345,6 +387,7 @@ class VerdictMatrix:
         seen: set = set()
         for candidate in candidates:
             if isinstance(candidate, UnionOfConjunctiveQueries):
+                self._known_queries.setdefault(query_key(candidate), candidate)
                 if query_key(candidate) not in self._rows:
                     deferred_unions.append(candidate)
                     for disjunct in candidate.disjuncts:
@@ -364,6 +407,112 @@ class VerdictMatrix:
 
         for union in deferred_unions:
             self.row(union)
+
+    # -- incremental maintenance ------------------------------------------
+
+    def apply_drift(
+        self,
+        added: Iterable[Tuple] = (),
+        removed: Iterable = (),
+        flipped: Iterable = (),
+    ) -> "VerdictMatrix":
+        """A new matrix absorbing labeling drift, touching only changed columns.
+
+        *added* pairs raw tuples with their label (``+1``/``-1``),
+        *removed* lists tuples leaving the labeling and *flipped* tuples
+        whose label changed sign (:class:`~repro.core.labeling.LabelingDrift`
+        has exactly this shape).  Every known row is migrated by bit
+        permutation: a surviving tuple keeps its verdict bit (the border
+        of a tuple depends only on the tuple, the radius and the
+        database, none of which drift here), a flipped tuple keeps its
+        bit value at its new column position, and only genuinely *new*
+        tuples cost a J-match evaluation per known query.  The result is
+        byte-identical to building a cold matrix over the drifted
+        labeling — the differential suite pins this — because surviving
+        bits are the memoized verdicts of exactly the (query, border)
+        keys a cold rebuild would look up.
+        """
+        old = self.columns
+        positives = set(old.positive_tuples)
+        negatives = set(old.negative_tuples)
+
+        def take_out(raw) -> Tuple[ConstantTuple, int]:
+            key = normalize_tuple(raw)
+            if key in positives:
+                positives.discard(key)
+                return key, POSITIVE
+            if key in negatives:
+                negatives.discard(key)
+                return key, NEGATIVE
+            raise ExplanationError(f"drift refers to unlabelled tuple {key}")
+
+        for raw in removed:
+            take_out(raw)
+        for raw in flipped:
+            key, label = take_out(raw)
+            (negatives if label == POSITIVE else positives).add(key)
+        for raw, label in added:
+            key = normalize_tuple(raw)
+            if key in positives or key in negatives:
+                raise ExplanationError(f"drift adds already-labelled tuple {key}")
+            if label == POSITIVE:
+                positives.add(key)
+            elif label == NEGATIVE:
+                negatives.add(key)
+            else:
+                raise ExplanationError(f"drift labels must be +1 or -1, got {label!r}")
+
+        new_positives = _sorted_tuples(positives)
+        new_negatives = _sorted_tuples(negatives)
+        new_columns = BorderColumns(
+            new_positives,
+            new_negatives,
+            borders=[
+                self.evaluator.border_of(value, old.radius)
+                for value in new_positives + new_negatives
+            ],
+            radius=old.radius,
+        )
+        drifted = VerdictMatrix(self.evaluator, new_columns)
+        old_position = {value: bit for bit, value in enumerate(old.tuples)}
+        fresh_columns = [
+            (bit, border)
+            for bit, (value, border) in enumerate(zip(new_columns.tuples, new_columns.borders))
+            if value not in old_position
+        ]
+
+        def matches_fresh(query: OntologyQuery, border: Border) -> bool:
+            # Evaluate UCQs disjunct-by-disjunct, the exact path (and
+            # memo entries) a cold build takes: its UCQ rows are ORs of
+            # CQ rows and never ask a (UCQ, border) question directly.
+            if isinstance(query, UnionOfConjunctiveQueries):
+                return any(
+                    self.evaluator.matches_border(disjunct, border)
+                    for disjunct in query.disjuncts
+                )
+            return self.evaluator.matches_border(query, border)
+
+        # Snapshot the dict: a concurrent scorer of this matrix may still
+        # be registering queries (row()/build() setdefault), and iterating
+        # the live dict would raise mid-drift.  A query missing from the
+        # snapshot just migrates nothing and is computed lazily later.
+        for key, query in list(self._known_queries.items()):
+            old_row = self._rows.get(key)
+            if old_row is None:
+                continue
+            drifted._known_queries[key] = query
+            if key in drifted._rows:
+                continue  # another scorer already filled the drifted layout
+            row = 0
+            for bit, value in enumerate(new_columns.tuples):
+                position = old_position.get(value)
+                if position is not None:
+                    row |= ((old_row >> position) & 1) << bit
+            for bit, border in fresh_columns:
+                if matches_fresh(query, border):
+                    row |= 1 << bit
+            drifted._rows[key] = row
+        return drifted
 
     # -- consumption ------------------------------------------------------
 

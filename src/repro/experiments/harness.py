@@ -26,6 +26,7 @@ from .scalability import (
     run_border_scalability,
     run_search_scalability,
 )
+from .service_exp import run_service_warm
 from .tables import ExperimentResult
 
 EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
@@ -41,6 +42,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "E8b": lambda: run_bias_ablation(persons=30, max_candidates=150),
     "E9": run_batch_scoring,
     "E10": run_bitset_criteria,
+    "E11": run_service_warm,
 }
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple, Union
 
 from ..dl.ontology import Ontology
-from ..engine.cache import EvaluationCache, VerdictPolicy
+from ..engine.cache import CacheLimits, EvaluationCache, VerdictPolicy
 from ..errors import CertainAnswerError
 from ..queries.atoms import Atom
 from ..queries.cq import ConjunctiveQuery
@@ -99,6 +99,47 @@ class CertainAnswerEngine:
     def rewrite(self, query: OntologyQuery) -> UnionOfConjunctiveQueries:
         """Perfect rewriting of a query, cached by canonical signature."""
         return self.cache.rewriting(query)
+
+    # -- cache lifecycle ---------------------------------------------------------
+
+    def configure_cache_limits(self, limits: CacheLimits) -> None:
+        """Bound the memo layers for long-lived use (LRU eviction beyond).
+
+        The engine stays correct under any limits — keys are content-
+        addressed, so eviction only costs recomputation; eviction counts
+        land in ``cache.stats.evictions``.
+        """
+        self.cache.configure_limits(limits)
+
+    def cache_fingerprint(self) -> str:
+        """Content hash of the specification the memo values depend on.
+
+        Memo keys are content-addressed *within one specification*: the
+        chase and the rewriter are functions of the ontology, border-ABox
+        retrieval of the mapping.  Snapshots are stamped with this hash
+        so a restarted engine refuses memos computed under a different
+        (e.g. since-updated) ontology or mapping, where equal keys would
+        silently map to different values.
+        """
+        import hashlib
+
+        payload = "\n".join(
+            sorted(str(axiom) for axiom in self.ontology.axioms)
+            + sorted(str(assertion) for assertion in self.mapping)
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def save_cache(self, path) -> dict:
+        """Persist the memo state so a restarted engine starts warm."""
+        return self.cache.save(path, fingerprint=self.cache_fingerprint())
+
+    def load_cache(self, path) -> dict:
+        """Merge a persisted memo snapshot back in (live entries win).
+
+        Raises ``ValueError`` when the snapshot was saved against a
+        different specification (see :meth:`cache_fingerprint`).
+        """
+        return self.cache.load(path, fingerprint=self.cache_fingerprint())
 
     # -- certain answers ------------------------------------------------------------
 

@@ -44,16 +44,32 @@ class Variable:
         return f"Variable({self.name!r})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Constant:
     """A constant value (database constant or ontology individual).
 
     Values are stored as strings, integers, floats or booleans.  Two
     constants are equal iff their values are equal, so ``Constant(1)``
-    and ``Constant("1")`` are distinct.
+    and ``Constant("1")`` are distinct.  Booleans are additionally kept
+    distinct from the numbers they coerce to under Python equality:
+    without the type tag, ``Constant(True) == Constant(1)`` (``bool`` is
+    an ``int`` subclass), which made a labeling over boolean features
+    collide with one over 0/1-valued features — e.g. ``λ+ = {True}``,
+    ``λ- = {1}`` raised a spurious both-labels conflict.
     """
 
     value: Union[str, int, float, bool]
+
+    def _tag(self) -> bool:
+        return isinstance(self.value, bool)
+
+    def __eq__(self, other):
+        if isinstance(other, Constant):
+            return self._tag() == other._tag() and self.value == other.value
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self._tag(), self.value))
 
     def sort_key(self):
         """Total order across terms, robust to mixed value types."""

@@ -1,0 +1,390 @@
+"""The long-lived explanation service: warm cache, bounded memory, drift.
+
+Lifecycle and invalidation model
+--------------------------------
+
+A service instance owns exactly one :class:`~repro.obdm.system.OBDMSystem`
+and, through its specification, one shared
+:class:`~repro.engine.cache.EvaluationCache`.  Every request flows
+through the same warm substrate, and three mechanisms keep that sound
+over an unbounded request stream:
+
+1. **Bounded memo layers.**  The cache's expensive layers (chase
+   saturations, retrieved border ABoxes, J-match verdicts, verdict-row
+   layouts) are LRU-bounded via
+   :class:`~repro.engine.cache.CacheLimits`; evictions are counted in
+   ``cache.stats.evictions`` and occupancy is visible through
+   :meth:`ExplanationService.size_report`.  Because every key is
+   content-addressed, eviction can only cost recomputation, never
+   correctness.
+
+2. **Warm sessions + eviction-aware invalidation.**  Per (labeling
+   signature, radius) the service keeps a *session*: the labeling and
+   its built :class:`~repro.engine.verdicts.VerdictMatrix`.  Sessions
+   live in their own LRU ring (``max_sessions``).  Before a session is
+   reused its matrix is probed with
+   :meth:`~repro.engine.verdicts.VerdictMatrix.is_live`: if the cache
+   has evicted the matrix's column layout, the matrix no longer feeds
+   the shared row store and the session is rebuilt instead of reused —
+   eviction invalidates dependent matrix reuse, it never yields stale
+   or disconnected serving.
+
+3. **Incremental verdict maintenance.**  When a request carries a
+   labeling with the *same name* as a warm session but different
+   content — the classic production situation of a classifier whose
+   predictions drift between retrainings — the service computes the
+   :class:`~repro.core.labeling.LabelingDrift` and applies it to the
+   warm matrix (:meth:`VerdictMatrix.apply_drift`): surviving tuples
+   keep their verdict bits by permutation, only genuinely new tuples
+   cost J-match evaluations.  The drifted matrix is byte-identical to a
+   cold rebuild (differential-pinned in
+   ``tests/engine/test_cache_lifecycle.py``).
+
+Persistence: :meth:`ExplanationService.save` snapshots the cache's
+content-addressed memo state to disk and
+:meth:`ExplanationService.load` merges it back, so a restarted service
+answers its first requests at warm-cache speed.  Live entries win over
+persisted ones and merged entries respect the configured limits.
+
+Typical use::
+
+    from repro.service import ExplanationService
+    from repro.ontologies.university import build_university_system
+
+    service = ExplanationService(build_university_system(), radius=1)
+    report = service.explain(labeling)            # cold: builds the matrix
+    report = service.explain(labeling)            # warm: popcounts only
+    report = service.explain(drifted_labeling)    # drift: permutes columns
+    service.save("/tmp/cache.snapshot")           # survive a restart
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+from ..core.best_describe import BestDescriptionSearch
+from ..core.border import BorderComputer
+from ..core.candidates import CandidateConfig
+from ..core.criteria import DEFAULT_REGISTRY, DELTA_1, DELTA_4, DELTA_5, Criterion, CriteriaRegistry
+from ..core.explainer import execute_search
+from ..core.labeling import Labeling, LabelingDrift
+from ..core.matching import MatchEvaluator
+from ..core.refinement import RefinementConfig
+from ..core.report import ExplanationReport
+from ..core.scoring import ScoringExpression, example_3_8_expression
+from ..errors import ExplanationError
+from ..obdm.certain_answers import OntologyQuery
+from ..obdm.system import OBDMSystem
+from ..engine.cache import CacheLimits, CacheStats, LRUStore
+
+
+class ServiceStats(CacheStats):
+    """Request-path counters: how each request's matrix was obtained.
+
+    Inherits the locked-counter machinery (``count``/``as_dict``/
+    ``merge``/``delta_since``, pickling) from
+    :class:`~repro.engine.cache.CacheStats`; only the counter set
+    differs.
+    """
+
+    _COUNTERS = ("requests", "warm_hits", "drift_updates", "cold_builds")
+
+
+class _Session:
+    """One warm (labeling, radius) serving state: the labeling + its matrix.
+
+    ``matrix`` is ``None`` when the bitset path is disabled
+    (``specification.engine.verdicts.enabled = False``); the session then
+    only pins the labeling identity, and warmth comes from the shared
+    memo layers alone.
+    """
+
+    __slots__ = ("labeling", "radius", "matrix")
+
+    def __init__(self, labeling: Labeling, radius: int, matrix):
+        self.labeling = labeling
+        self.radius = radius
+        self.matrix = matrix
+
+    def is_live(self) -> bool:
+        return self.matrix is None or self.matrix.is_live()
+
+
+class ExplanationService:
+    """Serves repeated ``explain`` requests against one warm OBDM system.
+
+    Parameters
+    ----------
+    system:
+        The long-lived ``Σ = <J, D>``.  The service shares its
+        specification's evaluation cache with every other consumer of
+        the same specification.
+    radius:
+        Default border radius for requests that do not override it.
+    criteria / expression / registry:
+        Default (Δ, F, Z) configuration; each request may override them
+        without invalidating warm state (verdicts are criteria-free).
+    cache_limits:
+        Optional :class:`~repro.engine.cache.CacheLimits` applied to the
+        shared cache — the memory bound of the resident service.
+    max_sessions:
+        How many warm (labeling, radius) sessions to keep; the least
+        recently served session is dropped first (its memo entries stay
+        in the shared cache until *their* layers evict them).
+    """
+
+    def __init__(
+        self,
+        system: OBDMSystem,
+        radius: int = 1,
+        criteria: Sequence[Union[str, Criterion]] = (DELTA_1, DELTA_4, DELTA_5),
+        expression: Optional[ScoringExpression] = None,
+        registry: CriteriaRegistry = DEFAULT_REGISTRY,
+        cache_limits: Optional[CacheLimits] = None,
+        max_sessions: int = 32,
+    ):
+        if max_sessions < 1:
+            raise ExplanationError(f"max_sessions must be >= 1, got {max_sessions}")
+        self.system = system
+        self.radius = radius
+        self.criteria = criteria
+        self.expression = expression or example_3_8_expression()
+        self.registry = registry
+        self.stats = ServiceStats()
+        # The border cache shares the border-ABox layer's bound: the two
+        # grow in lockstep (one retrieved ABox per distinct border), and a
+        # long-lived computer must not pin every border ever served.  The
+        # evaluators' ABox lookups delegate to the shared (LRU-bounded)
+        # cache layer whenever it is enabled, so they add no unbounded
+        # state of their own.
+        self._border_computer = BorderComputer(
+            system.database,
+            capacity=cache_limits.border_aboxes if cache_limits is not None else None,
+            stats=self.cache.stats,
+        )
+        self._evaluators: Dict[int, MatchEvaluator] = {}
+        # Session resolution is a non-atomic lookup → diff → drift → put
+        # sequence; one lock makes it atomic so concurrent requests can
+        # never race two drifts from the same predecessor or interleave
+        # the name-index updates.  Scoring itself runs outside the lock
+        # (the memo layers are individually locked and idempotent).
+        self._session_guard = threading.Lock()
+        self._sessions = LRUStore(capacity=max_sessions)
+        # (labeling name, radius) → session key of the labeling last served
+        # under that name: the hook that turns a renamed-content request
+        # into an incremental drift update instead of a cold rebuild.
+        # Bounded like the session ring — only names whose session may
+        # still be resident are worth remembering, so the same capacity
+        # keeps the index from growing with every distinct name ever seen.
+        self._name_index = LRUStore(capacity=max_sessions)
+        if cache_limits is not None:
+            self.cache.configure_limits(cache_limits)
+
+    # -- shared substrate --------------------------------------------------
+
+    @property
+    def cache(self):
+        """The specification's shared evaluation cache."""
+        return self.system.specification.engine.cache
+
+    @property
+    def cache_stats(self):
+        return self.cache.stats
+
+    def size_report(self) -> Dict[str, int]:
+        """Occupancy of the cache layers plus the service's own stores.
+
+        ``borders`` is the service's border-computer cache — bounded by
+        the same ``border_aboxes`` limit and evicting into the same
+        ``evictions`` counter, so operators can reconcile every eviction
+        against a reported layer.
+        """
+        report = self.cache.size_report()
+        report["sessions"] = len(self._sessions)
+        report["borders"] = len(self._border_computer._cache)
+        return report
+
+    def evaluator(self, radius: Optional[int] = None) -> MatchEvaluator:
+        """The shared J-match evaluator of one radius (created once)."""
+        radius = self.radius if radius is None else radius
+        evaluator = self._evaluators.get(radius)
+        if evaluator is None:
+            evaluator = MatchEvaluator(self.system, radius, self._border_computer)
+            self._evaluators[radius] = evaluator
+        return evaluator
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path) -> Dict[str, int]:
+        """Snapshot the shared cache so a restarted service starts warm.
+
+        The snapshot is stamped with the specification's content
+        fingerprint, so :meth:`load` on a service over a different (or
+        since-updated) specification refuses it instead of silently
+        serving stale memo values.
+        """
+        return self.system.specification.engine.save_cache(path)
+
+    def load(self, path) -> Dict[str, int]:
+        """Merge a saved snapshot into the shared cache (live entries win).
+
+        Raises ``ValueError`` for snapshots saved against a different
+        specification.
+        """
+        return self.system.specification.engine.load_cache(path)
+
+    # -- session lifecycle -------------------------------------------------
+
+    def _uses_matrix(self) -> bool:
+        return self.system.specification.engine.verdicts.enabled
+
+    def _session_for(self, labeling: Labeling, radius: int) -> Tuple[_Session, str]:
+        """The warm session serving this request, and how it was obtained.
+
+        Resolution order: exact signature hit (warm) → drift from the
+        warm session of the same labeling *name* (incremental) → cold
+        build.  Sessions whose matrix layout was evicted from the cache
+        are discarded, never reused.  The whole sequence runs under the
+        session guard so concurrent requests resolve atomically.
+        """
+        with self._session_guard:
+            return self._resolve_session(labeling, radius)
+
+    def _resolve_session(self, labeling: Labeling, radius: int) -> Tuple[_Session, str]:
+        key = (labeling.signature(), radius)
+        session = self._sessions.get(key)
+        if session is not None:
+            if session.is_live():
+                if session.matrix is not None:
+                    # Row reads go through the session's own reference, so
+                    # the LRU layer would otherwise never see warm traffic
+                    # and evict the hottest layout first under pressure.
+                    session.matrix.touch()
+                self._name_index.put((labeling.name, radius), key)
+                return session, "warm"
+            session = None  # evicted layout: fall through to rebuild
+        if not self._uses_matrix():
+            session = _Session(labeling, radius, None)
+            self._remember(key, labeling, radius, session)
+            return session, "cold"
+        predecessor = self._drift_predecessor(labeling, radius, key)
+        if predecessor is not None:
+            drift = predecessor.labeling.diff(labeling)
+            matrix = predecessor.matrix.apply_drift(
+                drift.added, drift.removed, drift.flipped
+            )
+            session = _Session(labeling, radius, matrix)
+            self._remember(key, labeling, radius, session)
+            return session, "drift"
+        from ..engine.verdicts import BorderColumns, VerdictMatrix
+
+        evaluator = self.evaluator(radius)
+        columns = BorderColumns.from_labeling(evaluator, labeling, radius)
+        session = _Session(labeling, radius, VerdictMatrix(evaluator, columns))
+        self._remember(key, labeling, radius, session)
+        return session, "cold"
+
+    def _drift_predecessor(
+        self, labeling: Labeling, radius: int, key: Tuple, touch: bool = True
+    ) -> Optional[_Session]:
+        """The live warm session of the same labeling name, if any.
+
+        *touch=False* reads without promoting LRU recency — the
+        observability path (:meth:`drift_of`) must not change which
+        sessions survive eviction.
+        """
+        previous_key = self._name_index.get((labeling.name, radius), touch=touch)
+        if previous_key is None or previous_key == key:
+            return None
+        predecessor = self._sessions.get(previous_key, touch=touch)
+        if predecessor is None or predecessor.matrix is None:
+            return None
+        if not predecessor.is_live():
+            return None
+        if not (predecessor.labeling.tuples() & labeling.tuples()):
+            # No surviving columns: nothing to migrate, so "drift" would
+            # just be a cold build that additionally evaluates the
+            # predecessor's whole pool against every new border.  This
+            # happens when unrelated labelings share a name (e.g. the
+            # constructor default); build cold and report it as such.
+            return None
+        return predecessor
+
+    def _remember(self, key: Tuple, labeling: Labeling, radius: int, session: _Session) -> None:
+        self._sessions.put(key, session)
+        self._name_index.put((labeling.name, radius), key)
+
+    # -- the request path --------------------------------------------------
+
+    def explain(
+        self,
+        labeling: Labeling,
+        radius: Optional[int] = None,
+        criteria: Optional[Sequence[Union[str, Criterion]]] = None,
+        expression: Optional[ScoringExpression] = None,
+        strategy: str = "enumerate",
+        candidates: Optional[Iterable[Union[str, OntologyQuery]]] = None,
+        candidate_config: Optional[CandidateConfig] = None,
+        refinement_config: Optional[RefinementConfig] = None,
+        top_k: Optional[int] = 10,
+    ) -> ExplanationReport:
+        """One explanation request, served from the warm substrate.
+
+        Semantically identical to
+        :meth:`repro.core.explainer.OntologyExplainer.explain` with the
+        same arguments on a fresh system — warmth only skips
+        recomputation (the lifecycle tests pin report-identical output
+        across cold, warm, drifted and reloaded services).
+        """
+        radius = self.radius if radius is None else radius
+        self.stats.count("requests")
+        session, how = self._session_for(labeling, radius)
+        self.stats.count(
+            {"warm": "warm_hits", "drift": "drift_updates", "cold": "cold_builds"}[how]
+        )
+        expression = expression or self.expression
+        search = BestDescriptionSearch(
+            self.system,
+            labeling,
+            radius,
+            criteria if criteria is not None else self.criteria,
+            expression,
+            self.registry,
+            border_computer=self._border_computer,
+            evaluator=self.evaluator(radius),
+            matrix=session.matrix,
+        )
+        return execute_search(
+            search,
+            expression,
+            candidates=candidates,
+            strategy=strategy,
+            candidate_config=candidate_config,
+            refinement_config=refinement_config,
+            top_k=top_k,
+        )
+
+    def drift_of(self, labeling: Labeling, radius: Optional[int] = None) -> Optional[LabelingDrift]:
+        """The drift the service *would* apply for this labeling, or ``None``.
+
+        Observability helper: ``None`` means the request would be served
+        warm (exact signature hit) or cold (no usable predecessor).
+        """
+        radius = self.radius if radius is None else radius
+        key = (labeling.signature(), radius)
+        session = self._sessions.get(key, touch=False)
+        if session is not None and session.is_live():
+            return None  # exact hit: would be served warm
+        # A dead exact-hit session (evicted layout) follows the same path
+        # explain() takes: a live same-name predecessor still drifts.
+        predecessor = self._drift_predecessor(labeling, radius, key, touch=False)
+        if predecessor is None:
+            return None
+        return predecessor.labeling.diff(labeling)
+
+    def __str__(self):
+        return (
+            f"ExplanationService({self.system.name!r}, radius={self.radius}, "
+            f"sessions={len(self._sessions)}, {self.stats})"
+        )

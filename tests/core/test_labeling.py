@@ -21,6 +21,33 @@ class TestNormalizeTuple:
         with pytest.raises(ExplanationError):
             normalize_tuple([])
 
+    def test_bool_and_int_normalize_distinctly(self):
+        # bool is an int subclass, so without the type tag in Constant
+        # equality True/1 and False/0 collapsed to one constant each.
+        assert normalize_tuple(True) != normalize_tuple(1)
+        assert normalize_tuple(False) != normalize_tuple(0)
+        assert normalize_tuple(True) == normalize_tuple(True)
+        assert len({normalize_tuple(True)[0], normalize_tuple(1)[0]}) == 2
+
+
+class TestBooleanLabelings:
+    """COMPAS-style boolean feature labelings vs 0/1-valued features."""
+
+    def test_bool_vs_int_is_not_a_conflict(self):
+        labeling = Labeling(positives=[True], negatives=[1])
+        assert labeling.label_of(True) == POSITIVE
+        assert labeling.label_of(1) == NEGATIVE
+        assert labeling.label_of(0) is None
+
+    def test_false_vs_zero_is_not_a_conflict(self):
+        labeling = Labeling(positives=[False], negatives=[0])
+        assert labeling.label_of(False) == POSITIVE
+        assert labeling.label_of(0) == NEGATIVE
+
+    def test_same_bool_on_both_sides_still_conflicts(self):
+        with pytest.raises(ExplanationError):
+            Labeling(positives=[True], negatives=[True])
+
 
 class TestLabeling:
     def test_paper_example(self, university_labeling):

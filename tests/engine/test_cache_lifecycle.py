@@ -1,0 +1,617 @@
+"""Cache-lifecycle tests: bounding, eviction, persistence, drift.
+
+Three properties must survive every lifecycle event:
+
+* **transparency** — eviction and snapshot loading may only change how
+  fast an answer is produced, never the answer;
+* **invalidation** — a consumer holding evicted shared state
+  (a :class:`VerdictMatrix` whose column layout was dropped) must be
+  able to detect it (``is_live``) and a fresh consumer must get a fresh
+  store, not the evicted one;
+* **incrementality** — :meth:`VerdictMatrix.apply_drift` must be
+  byte-identical to a cold rebuild over the drifted labeling, across
+  all four domain ontologies and both batch executors.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.labeling import Labeling
+from repro.core.matching import MatchEvaluator
+from repro.engine import CacheLimits, EvaluationCache, LRUStore
+from repro.engine.verdicts import BorderColumns, VerdictMatrix
+from repro.errors import ExplanationError
+from repro.obdm.system import OBDMSystem
+from repro.ontologies.compas import build_compas_specification
+from repro.ontologies.loans import build_loan_specification
+from repro.ontologies.movies import build_movie_specification
+from repro.ontologies.university import build_university_database, build_university_specification
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.workloads.compas_gen import CompasWorkloadConfig, generate_compas_workload
+from repro.workloads.loans_gen import LoanWorkloadConfig, generate_loan_workload
+from repro.workloads.movies_gen import MovieWorkloadConfig, generate_movie_workload
+
+
+# -- small deterministic databases per domain --------------------------------
+
+
+def _university():
+    specification = build_university_specification()
+    return specification, build_university_database(specification.schema)
+
+
+def _compas():
+    specification = build_compas_specification()
+    database = generate_compas_workload(CompasWorkloadConfig(persons=12, seed=11)).database
+    return specification, database
+
+
+def _loans():
+    specification = build_loan_specification()
+    database = generate_loan_workload(LoanWorkloadConfig(applicants=12, seed=7)).database
+    return specification, database
+
+
+def _movies():
+    specification = build_movie_specification()
+    database = generate_movie_workload(
+        MovieWorkloadConfig(movies=8, directors=3, viewers=5, critics=2, seed=3)
+    ).database
+    return specification, database
+
+
+DOMAIN_BUILDERS = {
+    "university": _university,
+    "compas": _compas,
+    "loans": _loans,
+    "movies": _movies,
+}
+
+
+def _fresh_system(domain: str) -> OBDMSystem:
+    specification, database = DOMAIN_BUILDERS[domain]()
+    return OBDMSystem(specification, database, name=f"{domain}_lifecycle")
+
+
+def _domain_labelings(system: OBDMSystem):
+    """An initial labeling and a drifted successor (add + remove + flip)."""
+    constants = sorted(system.domain(), key=repr)[:7]
+    initial = Labeling(positives=constants[:3], negatives=constants[3:5], name="drifting")
+    drifted = Labeling(
+        # constants[0] removed, constants[3] flipped to positive,
+        # constants[5] and constants[6] added (one per side).
+        positives=[constants[1], constants[2], constants[3], constants[5]],
+        negatives=[constants[4], constants[6]],
+        name="drifting",
+    )
+    return initial, drifted
+
+
+def _domain_queries(system: OBDMSystem):
+    ontology = system.ontology
+    queries = [
+        ConjunctiveQuery.of(("?x",), (Atom.of(concept, "?x"),), name=f"q_{concept}")
+        for concept in sorted(ontology.concept_names)[:3]
+    ]
+    for role in sorted(ontology.role_names)[:2]:
+        queries.append(
+            ConjunctiveQuery.of(("?x",), (Atom.of(role, "?x", "?y"),), name=f"q_{role}")
+        )
+    assert len(queries) >= 2, f"no probe queries for {system.name}"
+    # A UCQ probe: cold builds OR disjunct rows while drift evaluates
+    # fresh columns per query, so the differential must cover unions too.
+    queries.append(UnionOfConjunctiveQueries((queries[0], queries[1])))
+    return queries
+
+
+# -- LRUStore unit behaviour --------------------------------------------------
+
+
+class TestLRUStore:
+    def test_unbounded_by_default(self):
+        store = LRUStore()
+        for index in range(100):
+            store.put(index, index)
+        assert len(store) == 100
+
+    def test_capacity_evicts_least_recently_used(self):
+        store = LRUStore(capacity=2)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.get("a") == 1  # refresh "a": "b" is now LRU
+        store.put("c", 3)
+        assert "b" not in store
+        assert store.get("a") == 1 and store.get("c") == 3
+
+    def test_peek_does_not_refresh_recency(self):
+        store = LRUStore(capacity=2)
+        store.put("a", 1)
+        store.put("b", 2)
+        store.get("a", touch=False)  # peek only: "a" stays LRU
+        store.put("c", 3)
+        assert "a" not in store
+
+    def test_evictions_reported_to_stats(self):
+        from repro.engine import CacheStats
+
+        stats = CacheStats()
+        store = LRUStore(capacity=1, stats=stats)
+        store.put("a", 1)
+        store.put("b", 2)
+        store.put("c", 3)
+        assert stats.evictions == 2
+
+    def test_get_or_create_is_stable(self):
+        store = LRUStore()
+        first = store.get_or_create("k", dict)
+        second = store.get_or_create("k", dict)
+        assert first is second
+
+    def test_merge_missing_prefers_live_entries(self):
+        store = LRUStore()
+        store.put("a", "live")
+        added = store.merge_missing([("a", "persisted"), ("b", "persisted")])
+        assert added == 1
+        assert store.get("a") == "live"
+        assert store.get("b") == "persisted"
+
+    def test_merge_missing_overflow_evicts_itself_not_live_entries(self):
+        # Persisted entries enter at the cold end: loading a snapshot into
+        # a full store must never push out the hotter live entries — and
+        # self-evicted inserts must not be reported as added.
+        store = LRUStore(capacity=2)
+        store.put("hot1", "live")
+        store.put("hot2", "live")
+        added = store.merge_missing([("cold1", "persisted"), ("cold2", "persisted")])
+        assert added == 0
+        assert store.get("hot1") == "live"
+        assert store.get("hot2") == "live"
+        assert "cold1" not in store and "cold2" not in store
+
+    def test_merge_missing_preserves_persisted_cohort_order(self):
+        # items() snapshots are oldest-first; after a merge the hottest
+        # persisted entry must still be the last of the cohort to evict.
+        store = LRUStore(capacity=3)
+        store.merge_missing([("old", 1), ("mid", 2), ("hot", 3)])
+        store.put("live", 4)  # evicts exactly one persisted entry
+        assert "old" not in store
+        assert store.get("mid", touch=False) == 2
+        assert store.get("hot", touch=False) == 3
+
+    def test_capacity_one_minimum(self):
+        with pytest.raises(ValueError):
+            LRUStore(capacity=0)
+        with pytest.raises(ValueError):
+            LRUStore().set_capacity(0)
+
+    def test_pickle_round_trip_keeps_entries_and_capacity(self):
+        store = LRUStore(capacity=3)
+        store.put("a", 1)
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.get("a") == 1
+        assert clone.capacity == 3
+        clone.put("b", 2)  # the rebuilt lock must work
+
+
+# -- bounded EvaluationCache ---------------------------------------------------
+
+
+class TestBoundedEvaluationCache:
+    @staticmethod
+    def _make(limits=None, enabled=True):
+        saturations = []
+
+        def saturator(facts):
+            saturations.append(facts)
+            return facts
+
+        cache = EvaluationCache(
+            saturator=saturator, rewriter=lambda q: q, enabled=enabled, limits=limits
+        )
+        return cache, saturations
+
+    def test_saturation_layer_is_bounded(self):
+        cache, saturations = self._make(CacheLimits(saturations=2))
+        fact_sets = [frozenset({Atom.of("C", f"a{i}")}) for i in range(3)]
+        for facts in fact_sets:
+            cache.saturated_index(facts)
+        assert len(saturations) == 3
+        assert cache.stats.evictions == 1
+        cache.saturated_index(fact_sets[0])  # evicted: recomputed
+        assert len(saturations) == 4
+        cache.saturated_index(fact_sets[2])  # resident: memo hit
+        assert len(saturations) == 4
+
+    def test_configure_limits_shrinks_live_layers(self):
+        cache, _ = self._make()
+        for index in range(5):
+            cache.saturated_index(frozenset({Atom.of("C", f"a{index}")}))
+        assert cache.size_report()["saturations"] == 5
+        cache.configure_limits(CacheLimits(saturations=2))
+        assert cache.size_report()["saturations"] == 2
+        assert cache.stats.evictions == 3
+
+    def test_verdict_layout_eviction_hands_out_fresh_store(self):
+        cache, _ = self._make(CacheLimits(verdict_layouts=1))
+        first = cache.verdict_rows("layout_a")
+        first[("q",)] = 0b1
+        assert cache.has_verdict_layout("layout_a")
+        second = cache.verdict_rows("layout_b")  # evicts layout_a
+        assert not cache.has_verdict_layout("layout_a")
+        assert cache.has_verdict_layout("layout_b")
+        assert cache.stats.evictions == 1
+        refetched = cache.verdict_rows("layout_a")
+        assert refetched is not first and refetched == {}
+        assert second == {}
+
+    def test_saturation_lock_table_does_not_grow_with_traffic(self):
+        cache, _ = self._make(CacheLimits(saturations=2))
+        for index in range(16):
+            cache.saturated_index(frozenset({Atom.of("C", f"a{index}")}))
+        assert len(cache._saturation_locks) == 0
+
+    def test_size_report_counts_rows_across_layouts(self):
+        cache, _ = self._make()
+        cache.verdict_rows("a").update({("q1",): 1, ("q2",): 2})
+        cache.verdict_rows("b")[("q1",)] = 3
+        report = cache.size_report()
+        assert report["verdict_layouts"] == 2
+        assert report["verdict_rows"] == 3
+
+
+# -- persistence ---------------------------------------------------------------
+
+
+class TestSnapshotPersistence:
+    def test_round_trip_restores_every_layer(self, tmp_path):
+        cache, saturations = TestBoundedEvaluationCache._make()
+        facts = frozenset({Atom.of("C", "a")})
+        cache.saturated_index(facts)
+        cache.match(("verdict-key",), lambda: True)
+        cache.border_abox(facts, lambda: "abox")
+        cache.verdict_rows("layout")[("q",)] = 0b101
+        path = tmp_path / "snapshot.pkl"
+        cache.save(path)
+
+        fresh, fresh_saturations = TestBoundedEvaluationCache._make()
+        added = fresh.load(path)
+        assert added["saturations"] == 1
+        assert added["matches"] == 1
+        assert added["border_aboxes"] == 1
+        assert added["verdict_rows"] == 1
+        fresh.saturated_index(facts)
+        assert fresh_saturations == []  # served from the snapshot
+        assert fresh.stats.saturation_hits == 1
+        assert fresh.match(("verdict-key",), lambda: False) is True
+        assert fresh.verdict_rows("layout")[("q",)] == 0b101
+
+    def test_load_does_not_evict_live_verdict_layouts(self, tmp_path):
+        # Persisted layouts enter at the cold end, like every other layer:
+        # loading a snapshot into a warm bounded cache must not flip the
+        # hot layouts' liveness (which would discard every warm session).
+        source, _ = TestBoundedEvaluationCache._make()
+        source.verdict_rows("cold_a")[("q",)] = 1
+        source.verdict_rows("cold_b")[("q",)] = 2
+        path = tmp_path / "snapshot.pkl"
+        source.save(path)
+
+        target, _ = TestBoundedEvaluationCache._make(CacheLimits(verdict_layouts=2))
+        target.verdict_rows("hot_1")[("q",)] = 3
+        target.verdict_rows("hot_2")[("q",)] = 4
+        target.load(path)
+        assert target.has_verdict_layout("hot_1")
+        assert target.has_verdict_layout("hot_2")
+        assert not target.has_verdict_layout("cold_a")
+        assert not target.has_verdict_layout("cold_b")
+
+    def test_load_merges_row_stores_and_live_entries_win(self, tmp_path):
+        cache, _ = TestBoundedEvaluationCache._make()
+        cache.verdict_rows("layout").update({("q1",): 1, ("q2",): 2})
+        path = tmp_path / "snapshot.pkl"
+        cache.save(path)
+        target, _ = TestBoundedEvaluationCache._make()
+        target.verdict_rows("layout")[("q1",)] = 99  # newer live value
+        added = target.load(path)
+        assert added["verdict_rows"] == 1  # only q2 merged
+        rows = target.verdict_rows("layout")
+        assert rows[("q1",)] == 99 and rows[("q2",)] == 2
+
+    def test_border_pickle_drops_cached_hash(self):
+        # Border hashes are salted per process (PYTHONHASHSEED); a pickled
+        # cached hash would make every persisted memo entry keyed by a
+        # border unreachable in the loading process.
+        system = _fresh_system("university")
+        from repro.core.border import BorderComputer
+
+        border = BorderComputer(system.database).border("A10", 1)
+        hash(border)  # populate the cache
+        assert "_cached_hash" in border.__dict__
+        clone = pickle.loads(pickle.dumps(border))
+        assert "_cached_hash" not in clone.__dict__
+        assert clone == border and hash(clone) == hash(border)
+
+    @pytest.mark.slow
+    def test_snapshot_is_warm_across_hash_randomized_processes(self, tmp_path):
+        # The whole point of save()/load() is surviving a *real* restart,
+        # where PYTHONHASHSEED differs.  Save in one interpreter, load in
+        # another with a different seed, and require warm verdict rows.
+        import subprocess
+        import sys
+        import textwrap
+
+        path = tmp_path / "cross_process.cache"
+        script = textwrap.dedent(
+            """
+            import sys
+            from repro import ExplanationService, Labeling
+            from repro.ontologies.university import build_university_system
+
+            mode, path = sys.argv[1], sys.argv[2]
+            service = ExplanationService(build_university_system())
+            labeling = Labeling(
+                positives=["A10", "B80", "C12", "D50"], negatives=["E25"])
+            if mode == "save":
+                service.explain(labeling)
+                service.save(path)
+            else:
+                service.load(path)
+                service.explain(labeling)
+                stats = service.cache_stats
+                assert stats.verdict_row_hits > 0, stats.as_dict()
+                assert stats.verdict_row_misses == 0, stats.as_dict()
+                assert stats.match_misses == 0, stats.as_dict()
+            """
+        )
+
+        source_root = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+            "src",
+        )
+
+        def run(mode: str, seed: str) -> None:
+            environment = dict(os.environ)
+            environment["PYTHONHASHSEED"] = seed
+            inherited = environment.get("PYTHONPATH")
+            environment["PYTHONPATH"] = (
+                source_root if not inherited else source_root + os.pathsep + inherited
+            )
+            completed = subprocess.run(
+                [sys.executable, "-c", script, mode, str(path)],
+                capture_output=True,
+                text=True,
+                env=environment,
+            )
+            assert completed.returncode == 0, completed.stderr
+
+        run("save", seed="1")
+        run("load", seed="2")
+
+    def test_load_rejects_snapshots_from_other_specifications(self, tmp_path):
+        # Memo keys are content-addressed only *within* one specification:
+        # a snapshot computed under another ontology/mapping maps equal
+        # keys to different values and must be refused, not merged.
+        path = tmp_path / "university.cache"
+        university = _fresh_system("university").specification.engine
+        university.save_cache(path)
+        loans = _fresh_system("loans").specification.engine
+        with pytest.raises(ValueError):
+            loans.load_cache(path)
+        # Same specification content: accepted.
+        university_again = _fresh_system("university").specification.engine
+        university_again.load_cache(path)
+
+    def test_bounded_load_reports_only_surviving_entries(self, tmp_path):
+        source, _ = TestBoundedEvaluationCache._make()
+        source.match(("k1",), lambda: True)
+        source.match(("k2",), lambda: True)
+        path = tmp_path / "snapshot.pkl"
+        source.save(path)
+        target, _ = TestBoundedEvaluationCache._make(CacheLimits(matches=2))
+        target.match(("live1",), lambda: True)
+        target.match(("live2",), lambda: True)
+        added = target.load(path)
+        assert added["matches"] == 0  # both cold inserts self-evicted
+
+    def test_load_into_disabled_cache_merges_only_rewritings(self, tmp_path):
+        source, _ = TestBoundedEvaluationCache._make()
+        source.match(("k",), lambda: True)
+        source.rewriting(ConjunctiveQuery.of(("?x",), (Atom.of("C", "?x"),)))
+        path = tmp_path / "snapshot.pkl"
+        source.save(path)
+        disabled, _ = TestBoundedEvaluationCache._make(enabled=False)
+        added = disabled.load(path)
+        # The hot layers would never serve merged entries while disabled;
+        # only the always-on rewriting memo is merged and reported.
+        assert added["matches"] == 0 and added["saturations"] == 0
+        assert added["rewritings"] == 1
+        assert disabled.size_report()["matches"] == 0
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "garbage.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump({"not": "a snapshot"}, handle)
+        cache, _ = TestBoundedEvaluationCache._make()
+        with pytest.raises(ValueError):
+            cache.load(path)
+
+    def test_load_rejects_unknown_versions(self, tmp_path):
+        cache, _ = TestBoundedEvaluationCache._make()
+        state = cache.snapshot_state()
+        state["version"] = 999
+        path = tmp_path / "future.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump(state, handle)
+        with pytest.raises(ValueError):
+            cache.load(path)
+
+
+# -- eviction invalidates dependent matrix reuse -------------------------------
+
+
+class TestMatrixEvictionInvalidation:
+    def test_layout_eviction_flips_is_live(self):
+        system = _fresh_system("university")
+        system.specification.engine.cache.configure_limits(CacheLimits(verdict_layouts=1))
+        evaluator = MatchEvaluator(system, radius=1)
+        initial, drifted = _domain_labelings(system)
+        queries = _domain_queries(system)
+
+        matrix = VerdictMatrix(evaluator, BorderColumns.from_labeling(evaluator, initial))
+        matrix.build(queries)
+        assert matrix.is_live()
+
+        # A second labeling's layout evicts the first (capacity 1).
+        other = VerdictMatrix(evaluator, BorderColumns.from_labeling(evaluator, drifted))
+        other.build(queries)
+        assert not matrix.is_live()
+        assert other.is_live()
+
+        # The evicted matrix still answers correctly from its private dict…
+        fresh = VerdictMatrix(evaluator, BorderColumns.from_labeling(evaluator, initial))
+        for query in queries:
+            assert matrix.row(query) == fresh.row(query)
+        # …and the rebuilt layout is live again.
+        assert fresh.is_live()
+
+    def test_touch_never_resurrects_an_evicted_layout(self):
+        system = _fresh_system("university")
+        system.specification.engine.cache.configure_limits(CacheLimits(verdict_layouts=1))
+        evaluator = MatchEvaluator(system, radius=1)
+        initial, drifted = _domain_labelings(system)
+        queries = _domain_queries(system)
+        matrix = VerdictMatrix(evaluator, BorderColumns.from_labeling(evaluator, initial))
+        matrix.build(queries)
+        other = VerdictMatrix(evaluator, BorderColumns.from_labeling(evaluator, drifted))
+        other.build(queries)  # evicts the first layout
+        assert not matrix.is_live()
+        matrix.touch()  # must not re-register an empty orphan layout
+        assert not matrix.is_live()
+        assert other.is_live()
+
+    def test_disabled_cache_matrices_are_always_live(self):
+        system = _fresh_system("university")
+        system.specification.engine.cache.enabled = False
+        evaluator = MatchEvaluator(system, radius=1)
+        initial, _ = _domain_labelings(system)
+        matrix = VerdictMatrix(evaluator, BorderColumns.from_labeling(evaluator, initial))
+        assert matrix.is_live()
+
+
+# -- apply_drift differential: 4 domains × {thread, process} -------------------
+
+
+def _assert_drift_matches_cold(domain: str, executor: str) -> None:
+    system = _fresh_system(domain)
+    evaluator = MatchEvaluator(system, radius=1)
+    initial, drifted_labeling = _domain_labelings(system)
+    queries = _domain_queries(system)
+
+    matrix = VerdictMatrix(evaluator, BorderColumns.from_labeling(evaluator, initial))
+    matrix.build(queries)
+    drift = initial.diff(drifted_labeling)
+    assert not drift.is_empty()
+    drifted = matrix.apply_drift(drift.added, drift.removed, drift.flipped)
+
+    # Cold reference: a fresh specification (empty cache) over the same data.
+    cold_system = _fresh_system(domain)
+    cold_evaluator = MatchEvaluator(cold_system, radius=1)
+    cold = VerdictMatrix(
+        cold_evaluator, BorderColumns.from_labeling(cold_evaluator, drifted_labeling)
+    )
+    cold.build(queries)
+    for query in queries:
+        assert drifted.row(query) == cold.row(query), (
+            f"{domain}: drifted row diverged from cold rebuild for {query}"
+        )
+        assert drifted.profile(query) == cold.profile(query)
+
+    # End-to-end: batch-ranked reports over the drifted labeling agree with a
+    # service-style warm scorer using the drifted matrix.
+    from repro.core.best_describe import BestDescriptionSearch
+
+    warm_search = BestDescriptionSearch(
+        system, drifted_labeling, 1, evaluator=evaluator, matrix=drifted
+    )
+    warm_ranking = warm_search.rank(queries)
+    from repro.engine.batch import BatchExplainer
+
+    batch = BatchExplainer(cold_system, radius=1, executor=executor, max_workers=2)
+    batch_ranking = batch.rank_pool(drifted_labeling, queries)
+    assert [str(entry.query) for entry in warm_ranking] == [
+        str(entry.query) for entry in batch_ranking
+    ]
+    assert [entry.score for entry in warm_ranking] == [
+        entry.score for entry in batch_ranking
+    ]
+
+
+@pytest.mark.parametrize("domain", sorted(DOMAIN_BUILDERS))
+def test_apply_drift_matches_cold_rebuild_thread(domain):
+    _assert_drift_matches_cold(domain, executor="thread")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("domain", sorted(DOMAIN_BUILDERS))
+def test_apply_drift_matches_cold_rebuild_process(domain):
+    _assert_drift_matches_cold(domain, executor="process")
+
+
+class TestApplyDriftValidation:
+    @staticmethod
+    def _matrix():
+        system = _fresh_system("university")
+        evaluator = MatchEvaluator(system, radius=1)
+        initial, _ = _domain_labelings(system)
+        matrix = VerdictMatrix(evaluator, BorderColumns.from_labeling(evaluator, initial))
+        matrix.build(_domain_queries(system))
+        return matrix, initial
+
+    def test_removing_unlabelled_tuple_rejected(self):
+        matrix, _ = self._matrix()
+        with pytest.raises(ExplanationError):
+            matrix.apply_drift(removed=["no-such-constant"])
+
+    def test_adding_labelled_tuple_rejected(self):
+        matrix, initial = self._matrix()
+        existing = sorted(initial.positives, key=repr)[0]
+        with pytest.raises(ExplanationError):
+            matrix.apply_drift(added=[(existing, 1)])
+
+    def test_bad_label_rejected(self):
+        matrix, _ = self._matrix()
+        with pytest.raises(ExplanationError):
+            matrix.apply_drift(added=[("fresh-constant", 2)])
+
+    def test_empty_drift_preserves_rows(self):
+        matrix, _ = self._matrix()
+        clone = matrix.apply_drift()
+        assert clone.columns.tuples == matrix.columns.tuples
+        for key, query in matrix._known_queries.items():
+            assert clone.row(query) == matrix._rows[key]
+
+
+# -- worker-side stats merge (process sharding) --------------------------------
+
+
+@pytest.mark.slow
+def test_process_sharding_merges_worker_stats():
+    system = _fresh_system("loans")
+    initial, _ = _domain_labelings(system)
+    queries = _domain_queries(system)
+    from repro.engine.batch import BatchExplainer
+
+    stats = system.specification.engine.cache.stats
+    before = stats.as_dict()
+    batch = BatchExplainer(system, radius=1, executor="process", max_workers=2)
+    batch.rank_pool(initial, queries)
+    after = stats.as_dict()
+    # All J-matching happened inside worker processes; without the merge
+    # the parent counters would not move at all.
+    assert after["match_misses"] > before["match_misses"]
+    assert after["verdict_row_misses"] > before["verdict_row_misses"]
