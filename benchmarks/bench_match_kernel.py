@@ -1,0 +1,111 @@
+"""E12 — verdict-row construction: pool-level match kernel vs per-pair path.
+
+The per-pair path builds a verdict matrix cell by cell: one full
+certain-answer check per (candidate, border) pair, O(|pool| × |borders|)
+independent rewriting + homomorphism searches.  The pool-level match
+kernel (:mod:`repro.engine.kernel`) merges all border ABoxes into one
+provenance-indexed columnar fact store and emits each candidate's whole
+row from a single set-at-a-time pass, tabling shared subquery prefixes
+across the candidate lattice.
+
+This bench drives the E12 experiment
+(:func:`repro.experiments.kernel_exp.run_match_kernel` — one shared
+workload definition, no duplicated harness; the pool comes from the
+``bench_pool`` fixture's shared builder) at gate-worthy sizes and
+asserts:
+
+* kernel-path rankings are byte-identical to the per-pair path across
+  all four domain ontologies × {CQ, UCQ pools} × {thread, process}
+  executors;
+* top-k bound pruning returns exactly the exhaustive ranking's prefix
+  while skipping exact evaluation for part of the pool;
+* the kernel builds the matrix at least 3× faster than the per-pair
+  path with the retrieval layer warmed on both sides (measured ~4–7×;
+  3× keeps the gate robust on noisy CI machines).
+
+Profiles (``REPRO_BENCH_PROFILE`` env var, see ``conftest.py``):
+
+* ``quick`` — 36 candidates × 48 borders on a 56-applicant database;
+* ``full``  — 44 candidates × 56 borders on a 64-applicant database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.kernel_exp import run_match_kernel
+
+MIN_SPEEDUP = 3.0
+
+pytestmark = pytest.mark.kernel
+
+
+@dataclass(frozen=True)
+class KernelBenchConfig:
+    applicants: int
+    candidate_pool: int
+    labeled_per_side: int
+    rounds: int
+
+
+PROFILES = {
+    "quick": KernelBenchConfig(
+        applicants=56, candidate_pool=36, labeled_per_side=24, rounds=3
+    ),
+    "full": KernelBenchConfig(
+        applicants=64, candidate_pool=44, labeled_per_side=28, rounds=4
+    ),
+}
+
+
+def test_bench_match_kernel(bench_profile, bench_pool):
+    config = PROFILES[bench_profile]
+    # One workload construction: the fixture builds it, the experiment
+    # measures it (run_match_kernel would otherwise rebuild the same
+    # database + pool internally).
+    workload = bench_pool(
+        applicants=config.applicants,
+        candidate_pool=config.candidate_pool,
+        labeled_per_side=config.labeled_per_side,
+    )
+    result = run_match_kernel(
+        applicants=config.applicants,
+        candidate_pool=config.candidate_pool,
+        labeled_per_side=config.labeled_per_side,
+        rounds=config.rounds,
+        workload=workload,
+    )
+    build_row = result.rows[0]
+    identity_row = result.rows[1]
+    pruning_row = result.rows[2]
+
+    assert build_row["candidates"] >= 20, "the acceptance gate requires >= 20 candidates"
+    assert build_row["borders"] >= 32, "the acceptance gate requires >= 32 borders"
+    assert build_row["identical"] is True, (
+        "kernel verdict rows diverged from the per-pair path"
+    )
+    assert identity_row["identical"] is True, (
+        "kernel rankings diverged from the per-pair path across "
+        "domains × executors"
+    )
+    assert identity_row["cells"] >= 8, (
+        "the identity sweep must cover 4 domains × {thread, process}"
+    )
+    assert pruning_row["identical"] is True, (
+        "top-k bound pruning returned a different top-k than exhaustive search"
+    )
+    assert pruning_row["rows_built"] < pruning_row["candidates"], (
+        "top-k pruning evaluated every candidate — the bound pruned nothing"
+    )
+
+    speedup = build_row["speedup"] if build_row["speedup"] is not None else float("inf")
+    print()
+    print(f"match kernel bench [{bench_profile}]")
+    print(result.render())
+    print(f"  gate: speedup >= {MIN_SPEEDUP} x (warm retrieval on both paths)")
+    assert speedup >= MIN_SPEEDUP, (
+        f"kernel matrix build only {speedup:.1f}x faster than the per-pair path "
+        f"(required >= {MIN_SPEEDUP}x)"
+    )

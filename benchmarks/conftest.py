@@ -30,6 +30,25 @@ def bench_scale(request) -> str:
 
 
 @pytest.fixture(scope="session")
+def bench_pool():
+    """Factory for the shared loan-domain scoring workload.
+
+    Returns :func:`repro.experiments.scalability.build_loan_pool` — the
+    single definition of "database + labelings + bottom-up candidate
+    pool" behind the engine benches (batch explain, bitset criteria,
+    service warm, match kernel), so no bench re-implements pool
+    construction.  Call it with the profile's sizes::
+
+        workload = bench_pool(applicants=48, candidate_pool=36,
+                              labeled_per_side=20)
+        workload.database, workload.labelings, workload.pool
+    """
+    from repro.experiments.scalability import build_loan_pool
+
+    return build_loan_pool
+
+
+@pytest.fixture(scope="session")
 def bench_profile() -> str:
     """Workload profile from the ``REPRO_BENCH_PROFILE`` env var.
 

@@ -17,10 +17,13 @@ large).
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
-from ..errors import ExplanationError, SearchBudgetExceeded
+from ..errors import CriterionError, ExplanationError, ScoringError, SearchBudgetExceeded
 from ..obdm.certain_answers import OntologyQuery
 from ..obdm.system import OBDMSystem
 from ..queries.cq import ConjunctiveQuery
@@ -32,15 +35,20 @@ from .criteria import (
     DELTA_1,
     DELTA_4,
     DELTA_5,
+    MONOTONE_CRITERIA,
     Criterion,
     CriteriaRegistry,
     EvaluationContext,
     evaluate_criteria,
 )
 from .labeling import Labeling, normalize_tuple
-from .matching import MatchEvaluator, MatchProfile
+from .matching import CountProfile, MatchEvaluator, MatchProfile
 from .refinement import RefinementConfig, RefinementSearch
-from .scoring import ScoringExpression, example_3_8_expression
+from .scoring import (
+    MONOTONE_EXPRESSION_TYPES,
+    ScoringExpression,
+    example_3_8_expression,
+)
 
 
 @dataclass(frozen=True)
@@ -155,6 +163,48 @@ class QueryScorer:
     def score_value(self, query: OntologyQuery) -> float:
         return self.score(query).score
 
+    # -- optimistic bounds (top-k pruning) -------------------------------
+
+    def optimistic_score(self, query: OntologyQuery) -> float:
+        """An upper bound of ``score(query).score``, without exact J-matching.
+
+        The kernel's per-atom provenance bound
+        (:meth:`~repro.engine.verdicts.VerdictMatrix.upper_bound_row`)
+        caps how many positives/negatives the query *could* match; the
+        true (TP, FP) pair then lies in a box whose corners are
+        evaluated through the real criteria and expression.  Every
+        built-in criterion is componentwise monotone in (TP, FP) and
+        every built-in expression is componentwise monotone in its
+        criterion values, so the maximum over the corner assignments
+        bounds the true Z-score — for *those* configurations only,
+        which is why :meth:`BestDescriptionSearch._prunes` gates
+        pruning on ``MONOTONE_CRITERIA`` / ``MONOTONE_EXPRESSION_TYPES``.
+        Only meaningful on the kernel-backed bitset path.
+        """
+        matrix = self.verdict_matrix()
+        columns = matrix.columns
+        bound = matrix.upper_bound_row(query)
+        bound_tp = (bound & columns.positives_mask).bit_count()
+        bound_fp = (bound & columns.negatives_mask).bit_count()
+        positives, negatives = columns.positive_count, columns.negative_count
+        lows: Dict[str, float] = {}
+        highs: Dict[str, float] = {}
+        for tp, fp in {(t, f) for t in {0, bound_tp} for f in {0, bound_fp}}:
+            profile = CountProfile(tp, positives - tp, fp, negatives - fp)
+            context = EvaluationContext(query, profile, self.labeling, self.evaluator.radius)
+            for criterion in self.criteria:
+                value = criterion.evaluate(context)
+                key = criterion.key
+                lows[key] = value if key not in lows else min(lows[key], value)
+                highs[key] = value if key not in highs else max(highs[key], value)
+        varying = [key for key in lows if lows[key] != highs[key]]
+        best = -math.inf
+        for corner in itertools.product(*((lows[key], highs[key]) for key in varying)):
+            values = dict(lows)
+            values.update(zip(varying, corner))
+            best = max(best, self.expression.score(values))
+        return best
+
 
 class BestDescriptionSearch:
     """End-to-end search for the best-describing query over a candidate space."""
@@ -239,6 +289,70 @@ class BestDescriptionSearch:
             raise ExplanationError("no candidate queries to rank")
         return ranking[0]
 
+    # -- top-k bound pruning ----------------------------------------------
+
+    def _prunes(self) -> bool:
+        """Whether the kernel-backed bound-pruning path is sound here.
+
+        Requires the kernel-backed bitset path *and* a provably
+        componentwise-monotone (Δ, Z) configuration: the optimistic
+        bound evaluates criteria and expression only at corner
+        assignments, which bounds the true score exactly for the
+        built-in monotone criteria/expressions and for nothing else —
+        a custom criterion peaked at an interior (TP, FP) point would
+        make pruning silently drop true top-k entries, so any custom
+        configuration ranks exhaustively instead.
+        """
+        return (
+            self.scorer.uses_verdict_matrix
+            and self.system.specification.engine.kernel.enabled
+            and type(self.scorer.expression) in MONOTONE_EXPRESSION_TYPES
+            and all(
+                criterion in MONOTONE_CRITERIA for criterion in self.scorer.criteria
+            )
+        )
+
+    def top_k(self, candidates: Iterable[OntologyQuery], k: int) -> List[ScoredQuery]:
+        """Exactly ``rank(candidates)[:k]``, skipping provably losing candidates.
+
+        Candidates are visited in decreasing order of their optimistic
+        Z-score (:meth:`QueryScorer.optimistic_score`); once ``k`` exact
+        scores are known, any candidate whose optimistic bound is
+        *strictly* below the current k-th exact score cannot reach the
+        top ``k`` (even via tie-breaking, since ties require an equal
+        score) and skips exact evaluation entirely — no verdict row is
+        built for it.  Survivors are sorted with the exhaustive
+        comparator, so the result is identical to the exhaustive
+        ranking's prefix; ``benchmarks/bench_match_kernel.py`` gates
+        that equality.
+        """
+        pool = list(candidates)
+        if k is None or k >= len(pool) or k <= 0 or not self._prunes():
+            return self.rank(pool)[:k]
+        try:
+            bounds = [self.scorer.optimistic_score(query) for query in pool]
+        except (CriterionError, ScoringError):
+            # Custom criteria reading tuple sets (CountProfile raises
+            # CriterionError for those) or rejecting the corner profiles
+            # cannot be bounded; rank exhaustively instead.  Anything
+            # else propagates — a bug in the bound computation must not
+            # silently degrade into a permanent no-prune fallback.
+            return self.rank(pool)[:k]
+        order = sorted(range(len(pool)), key=lambda index: (-bounds[index], index))
+        exact_scores: List[float] = []  # min-heap of the k best exact scores
+        evaluated: List[ScoredQuery] = []
+        for index in order:
+            if len(exact_scores) >= k and bounds[index] < exact_scores[0]:
+                break  # bounds are non-increasing: every later candidate loses too
+            scored = self.scorer.score(pool[index])
+            evaluated.append(scored)
+            if len(exact_scores) < k:
+                heapq.heappush(exact_scores, scored.score)
+            else:
+                heapq.heappushpop(exact_scores, scored.score)
+        evaluated.sort(key=self._sort_key)
+        return evaluated[:k]
+
     # -- automatic candidate construction ----------------------------------------------
 
     def generate_candidates(
@@ -301,10 +415,18 @@ class BestDescriptionSearch:
         extra_candidates: Iterable[OntologyQuery] = (),
         top_k: Optional[int] = None,
     ) -> List[ScoredQuery]:
-        """Build a candidate pool with the chosen strategy and rank it."""
-        ranking = self.rank(
-            self.candidate_pool(strategy, candidate_config, refinement_config, extra_candidates)
+        """Build a candidate pool with the chosen strategy and rank it.
+
+        With *top_k* on the kernel path, bound pruning skips candidates
+        that provably cannot reach the top ``k`` — the returned prefix
+        is identical to the exhaustive ranking's either way.
+        """
+        pool = self.candidate_pool(
+            strategy, candidate_config, refinement_config, extra_candidates
         )
+        if top_k is not None and self._prunes():
+            return self.top_k(pool, top_k)
+        ranking = self.rank(pool)
         return ranking[:top_k] if top_k is not None else ranking
 
     # -- UCQ construction -----------------------------------------------------------------

@@ -174,11 +174,19 @@ class BorderComputer:
         return cached
 
     def borders(self, raws: Iterable[RawTuple], radius: int) -> Dict[ConstantTuple, Border]:
-        """Borders of many tuples, keyed by the normalised tuple."""
+        """Borders of many tuples, keyed by the normalised tuple.
+
+        Deduplicates by normalized tuple key up front, so a raw tuple
+        appearing several times in *raws* (e.g. under both labels of a
+        drifting labeling, or in differently-typed raw forms) triggers
+        exactly one border lookup — and never re-expands its layers.
+        """
         result: Dict[ConstantTuple, Border] = {}
         for raw in raws:
-            border = self.border(raw, radius)
-            result[border.tuple] = border
+            key = normalize_tuple(raw)
+            if key in result:
+                continue
+            result[key] = self.border(key, radius)
         return result
 
     # -- analysis helpers ----------------------------------------------------------

@@ -37,7 +37,7 @@ and monotonicity laws on both profile representations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import CriterionError
 from ..obdm.certain_answers import OntologyQuery
@@ -241,6 +241,19 @@ class CriteriaRegistry:
 
 
 DEFAULT_REGISTRY = CriteriaRegistry(PAPER_CRITERIA + (PRECISION, F1, ACCURACY))
+
+#: Built-in criteria that are componentwise monotone in (TP, FP): each is
+#: non-decreasing or non-increasing in the matched-positive count and in
+#: the matched-negative count separately (δ5/δ6 ignore the profile
+#: entirely).  Top-k bound pruning
+#: (:meth:`repro.core.best_describe.BestDescriptionSearch.top_k`) is only
+#: sound for criteria whose extrema over a (TP, FP) box lie on its
+#: corners, so it prunes exactly when every criterion of Δ is in this
+#: set — a custom criterion (even a counts-only one, e.g. peaked at
+#: TP = P/2) falls back to exhaustive ranking.
+MONOTONE_CRITERIA: FrozenSet[Criterion] = frozenset(
+    PAPER_CRITERIA + (PRECISION, F1, ACCURACY)
+)
 
 
 def evaluate_criteria(

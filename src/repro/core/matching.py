@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..errors import ExplanationError
+from ..errors import CriterionError, ExplanationError
 from ..obdm.certain_answers import OntologyQuery
 from ..obdm.system import OBDMSystem
 from ..obdm.virtual_abox import VirtualABox
@@ -98,6 +98,49 @@ class MatchStatistics:
             f"{type(self).__name__}(+: {self.true_positives}/{self.positive_total}, "
             f"-: {self.false_positives}/{self.negative_total} matched)"
         )
+
+
+@dataclass(frozen=True)
+class CountProfile(MatchStatistics):
+    """A profile carrying only the four confusion-matrix counts.
+
+    Used for *hypothetical* profiles — the optimistic/pessimistic corner
+    profiles of top-k bound pruning
+    (:meth:`repro.core.best_describe.QueryScorer.optimistic_score`) —
+    where no concrete tuple sets exist.  The set views raise
+    :class:`~repro.errors.CriterionError` explicitly: criteria that read
+    tuple sets (rather than the counts) cannot be bounded, and the
+    pruning path catches exactly that signal to fall back to exhaustive
+    ranking (a bare ``AttributeError`` would be indistinguishable from a
+    genuine regression in the bound computation).
+    """
+
+    true_positives: int
+    false_negatives: int
+    false_positives: int
+    true_negatives: int
+
+    def _no_sets(self, view: str):
+        raise CriterionError(
+            f"CountProfile has no {view!r}: it carries only confusion-matrix "
+            "counts (hypothetical bound profiles have no concrete tuple sets)"
+        )
+
+    @property
+    def positives_matched(self):
+        self._no_sets("positives_matched")
+
+    @property
+    def positives_unmatched(self):
+        self._no_sets("positives_unmatched")
+
+    @property
+    def negatives_matched(self):
+        self._no_sets("negatives_matched")
+
+    @property
+    def negatives_unmatched(self):
+        self._no_sets("negatives_unmatched")
 
 
 @dataclass(frozen=True)

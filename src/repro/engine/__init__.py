@@ -47,6 +47,40 @@ components:
     (``tests/engine/test_verdict_matrix.py``) pins as byte-identical
     across all four domain ontologies.
 
+:class:`~repro.engine.kernel.PoolMatchKernel`
+    The pool-level match kernel behind verdict-row *construction*.
+    Where the per-pair path asks one certain-answer question per
+    (candidate, border) cell — O(|pool| × |borders|) independent
+    rewriting + homomorphism searches — the kernel merges all border
+    ABoxes of a labeling into one
+    :class:`~repro.engine.kernel.UnifiedBorderIndex` (a columnar fact
+    store: predicate → argument arrays + a provenance bitset per fact)
+    and computes a candidate's **whole row in one homomorphism
+    enumeration**: a set-at-a-time hash join ANDs provenance bitsets
+    along join paths, and each final binding's head projection emits
+    its mask into the row.  Partial-match states of canonical atom
+    prefixes are **tabled** in the shared cache
+    (:meth:`EvaluationCache.subquery_tables`,
+    ``CacheStats.subquery_hits/misses``), so candidates of the
+    bottom-up lattice that share a prefix pay for it once.  The
+    kernel's per-atom provenance OR also yields a cheap row *upper
+    bound*, which
+    :meth:`~repro.core.best_describe.BestDescriptionSearch.top_k`
+    turns into optimistic Z-scores for **top-k bound pruning** (exact
+    top-k, candidates that provably cannot reach it never build a
+    row).  **Toggle:** ``specification.engine.kernel.enabled``
+    (:class:`~repro.engine.cache.KernelPolicy`), same style as
+    ``engine.verdicts.enabled``; disabling it restores per-pair row
+    construction.  ``VerdictMatrix.build``/``_compute_row``,
+    ``apply_drift`` (fresh columns), both ``BatchExplainer`` executors
+    and the explanation service's warm sessions all route through it
+    when enabled; the differential suite
+    (``tests/engine/test_match_kernel.py``) pins kernel rows
+    byte-identical to the per-pair path across all four domains ×
+    {CQ, UCQ} × {cache on, off} × {thread, process}, and
+    ``benchmarks/bench_match_kernel.py`` gates a ≥3× matrix-build
+    speedup.
+
 :class:`~repro.engine.batch.BatchExplainer`
     Concurrent batch scoring of candidate pools across one or many
     labelings via :mod:`concurrent.futures`, with deterministic result
@@ -95,7 +129,15 @@ verdict bitsets.
 
 from __future__ import annotations
 
-from .cache import CacheLimits, CacheStats, EvaluationCache, LRUStore, VerdictPolicy
+from .cache import (
+    CacheLimits,
+    CacheStats,
+    EvaluationCache,
+    KernelPolicy,
+    LRUStore,
+    VerdictPolicy,
+)
+from .kernel import PoolMatchKernel, UnifiedBorderIndex
 
 __all__ = [
     "BatchExplainer",
@@ -104,7 +146,10 @@ __all__ = [
     "CacheLimits",
     "CacheStats",
     "EvaluationCache",
+    "KernelPolicy",
     "LRUStore",
+    "PoolMatchKernel",
+    "UnifiedBorderIndex",
     "VerdictMatrix",
     "VerdictPolicy",
 ]
@@ -114,6 +159,8 @@ _LAZY_MODULES = {
     # repro.engine.verdicts pulls in repro.core, which itself imports
     # repro.obdm.certain_answers → repro.engine.cache; loading them
     # eagerly here would close that loop during package initialisation.
+    # (repro.engine.kernel only imports repro.queries, so it loads
+    # eagerly above.)
     "BatchExplainer": "batch",
     "BitsetVerdictProfile": "verdicts",
     "BorderColumns": "verdicts",

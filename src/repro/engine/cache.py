@@ -17,7 +17,11 @@ specification:
   value embeds its tuple, radius and atom layers, so keys are
   content-addressed and stay valid even if the source database mutates);
 * **verdict-matrix rows** — bitsets of per-border verdicts, keyed by
-  column layout × query signature (see :mod:`repro.engine.verdicts`).
+  column layout × query signature (see :mod:`repro.engine.verdicts`);
+* **kernel subquery tables** — partial-match provenance bitsets of
+  canonical atom prefixes, keyed by unified-border-index identity ×
+  prefix signature (see :mod:`repro.engine.kernel`), so candidates that
+  share a join prefix pay for it once.
 
 All keys are content-addressed (frozen values, not object identities),
 which is what makes the cache safely shareable between evaluators,
@@ -101,6 +105,32 @@ class VerdictPolicy:
         return f"VerdictPolicy(enabled={self.enabled})"
 
 
+class KernelPolicy:
+    """Switch for the pool-level match kernel (:mod:`repro.engine.kernel`).
+
+    When ``enabled`` (the default), :class:`~repro.engine.verdicts.VerdictMatrix`
+    computes verdict rows through the
+    :class:`~repro.engine.kernel.PoolMatchKernel`: all border ABoxes of a
+    labeling are merged into one provenance-indexed fact store and a
+    whole row (every border column of one candidate) falls out of a
+    single homomorphism enumeration, with partial-match bitsets tabled
+    in the shared cache and reused across the candidate lattice.
+    Disabling it restores the per-pair row construction (one
+    ``matches_border`` question per (candidate, border) cell), which the
+    differential suite (``tests/engine/test_match_kernel.py``) and
+    ``benchmarks/bench_match_kernel.py`` use as the reference.  Every
+    :class:`~repro.obdm.certain_answers.CertainAnswerEngine` owns one
+    (``specification.engine.kernel``), in the same style as
+    ``engine.verdicts``.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+
+    def __str__(self):
+        return f"KernelPolicy(enabled={self.enabled})"
+
+
 class CacheStats:
     """Hit/miss/eviction counters per memo layer (benchmark observability).
 
@@ -120,6 +150,8 @@ class CacheStats:
         "match_misses",
         "verdict_row_hits",
         "verdict_row_misses",
+        "subquery_hits",
+        "subquery_misses",
         "evictions",
     )
 
@@ -188,12 +220,17 @@ class CacheLimits:
     border_aboxes: Optional[int] = None
     verdict_layouts: Optional[int] = None
     matches: Optional[int] = None
+    subqueries: Optional[int] = None
+    """Cap on resident kernel *table sets* (one per unified border index);
+    evicting one drops every partial-match bitset tabled under it, the
+    same layout-as-eviction-unit discipline as ``verdict_layouts``."""
 
     def __str__(self):
         return (
             f"CacheLimits(saturations={self.saturations}, "
             f"border_aboxes={self.border_aboxes}, "
-            f"verdict_layouts={self.verdict_layouts}, matches={self.matches})"
+            f"verdict_layouts={self.verdict_layouts}, matches={self.matches}, "
+            f"subqueries={self.subqueries})"
         )
 
 
@@ -369,6 +406,7 @@ class EvaluationCache:
         self._border_aboxes = LRUStore(self.limits.border_aboxes, self.stats)
         self._matches = LRUStore(self.limits.matches, self.stats)
         self._verdict_rows = LRUStore(self.limits.verdict_layouts, self.stats)
+        self._subqueries = LRUStore(self.limits.subqueries, self.stats)
 
     # -- pickling ---------------------------------------------------------
 
@@ -396,6 +434,7 @@ class EvaluationCache:
         self._border_aboxes.set_capacity(limits.border_aboxes)
         self._matches.set_capacity(limits.matches)
         self._verdict_rows.set_capacity(limits.verdict_layouts)
+        self._subqueries.set_capacity(limits.subqueries)
 
     def size_report(self) -> Dict[str, int]:
         """Entry counts per layer (verdict rows also summed across layouts)."""
@@ -406,6 +445,8 @@ class EvaluationCache:
             "matches": len(self._matches),
             "verdict_layouts": len(self._verdict_rows),
             "verdict_rows": sum(len(rows) for _, rows in self._verdict_rows.items()),
+            "subquery_indexes": len(self._subqueries),
+            "subquery_states": sum(len(table) for _, table in self._subqueries.items()),
         }
 
     # -- persistence ------------------------------------------------------
@@ -635,6 +676,31 @@ class EvaluationCache:
         """
         return self.enabled and self._verdict_rows.get(columns_key, touch=False) is not None
 
+    # -- kernel subquery tables -------------------------------------------
+
+    def subquery_tables(self, index_key: Hashable) -> Dict[Tuple, object]:
+        """The tabled partial-match states of one unified border index.
+
+        The pool-level match kernel (:mod:`repro.engine.kernel`) memoizes
+        the partial-match bitsets of canonical atom prefixes here, keyed
+        by the content-addressed identity of its merged border index, so
+        candidates across the bottom-up lattice that share a prefix pay
+        for it once — across kernels, scorers and requests over the same
+        borders.  Hit/miss traffic is counted by the kernel in
+        ``stats.subquery_hits`` / ``stats.subquery_misses``.  Like
+        verdict rows, the tables are derived, cheap-to-recompute state:
+        they are *not* persisted by :meth:`save` (snapshots keep their
+        existing layout and version), and with the cache disabled each
+        kernel gets a private dict (tabling still dedups within one
+        kernel build).
+
+        Under a ``subqueries`` limit the *index* is the eviction unit:
+        evicting one drops all its tabled prefixes at once.
+        """
+        if not self.enabled:
+            return {}
+        return self._subqueries.get_or_create(index_key, dict)
+
     # -- maintenance ------------------------------------------------------
 
     def clear(self) -> None:
@@ -646,6 +712,7 @@ class EvaluationCache:
             self._border_aboxes.clear()
             self._matches.clear()
             self._verdict_rows.clear()
+            self._subqueries.clear()
 
     def __str__(self):
         return (

@@ -296,6 +296,7 @@ class VerdictMatrix:
         self.evaluator = evaluator
         self.columns = columns
         self._cache = evaluator.system.specification.engine.cache
+        self._kernel = None
         # Computing the layout key hashes whole borders; skip it when the
         # cache would hand back a private dict anyway.
         self._rows: Dict[Tuple, int] = (
@@ -337,13 +338,24 @@ class VerdictMatrix:
 
     # -- row computation --------------------------------------------------
 
+    @property
+    def kernel_enabled(self) -> bool:
+        return self.evaluator.system.specification.engine.kernel.enabled
+
+    def _kernel_for(self):
+        """The pool-level match kernel of this layout (built lazily)."""
+        if self._kernel is None:
+            from .kernel import PoolMatchKernel
+
+            self._kernel = PoolMatchKernel(self.evaluator, self.columns)
+        return self._kernel
+
     def row(self, query: OntologyQuery) -> int:
         """The verdict bitset of one query (computed at most once)."""
         key = query_key(query)
         self._known_queries.setdefault(key, query)
         row = self._rows.get(key)
         if row is None:
-            self._cache.stats.count("verdict_row_misses")
             row = self._compute_row(query)
             self._rows[key] = row
         else:
@@ -353,16 +365,35 @@ class VerdictMatrix:
     def _compute_row(self, query: OntologyQuery) -> int:
         if isinstance(query, UnionOfConjunctiveQueries):
             # A UCQ J-matches a border iff some disjunct does, under both
-            # answering strategies (see the module docstring).
+            # answering strategies (see the module docstring).  The union
+            # row is pure OR arithmetic over its disjuncts' rows, so it
+            # does not count as a verdict-row miss itself — misses count
+            # genuinely computed rows only (each disjunct's ``row`` call
+            # accounts for its own hit or miss).
             union_row = 0
             for disjunct in query.disjuncts:
                 union_row |= self.row(disjunct)
             return union_row
+        self._cache.stats.count("verdict_row_misses")
+        if self.kernel_enabled:
+            return self._kernel_for().row(query)
         row = 0
         for bit, border in enumerate(self.columns.borders):
             if self.evaluator.matches_border(query, border):
                 row |= 1 << bit
         return row
+
+    def upper_bound_row(self, query: OntologyQuery) -> int:
+        """A superset of ``row(query)`` bits, cheap enough for pruning.
+
+        An already-known row is its own (tightest) bound; otherwise the
+        kernel's per-atom provenance bound is used.  Only meaningful on
+        the kernel path — callers gate on :attr:`kernel_enabled`.
+        """
+        row = self._rows.get(query_key(query))
+        if row is not None:
+            return row
+        return self._kernel_for().upper_bound_row(query)
 
     def build(self, candidates: Iterable[OntologyQuery]) -> None:
         """Fill rows for a whole pool in one pass over the border ABoxes.
@@ -396,11 +427,14 @@ class VerdictMatrix:
                 enqueue_cq(candidate)
 
         if pending_cqs:
-            partial = [0] * len(pending_cqs)
-            for bit, border in enumerate(self.columns.borders):
-                for index, cq in enumerate(pending_cqs):
-                    if self.evaluator.matches_border(cq, border):
-                        partial[index] |= 1 << bit
+            if self.kernel_enabled:
+                partial = self._kernel_for().rows(pending_cqs)
+            else:
+                partial = [0] * len(pending_cqs)
+                for bit, border in enumerate(self.columns.borders):
+                    for index, cq in enumerate(pending_cqs):
+                        if self.evaluator.matches_border(cq, border):
+                            partial[index] |= 1 << bit
             for key, row in zip(pending_keys, partial):
                 self._cache.stats.count("verdict_row_misses")
                 self._rows[key] = row
@@ -480,6 +514,16 @@ class VerdictMatrix:
             for bit, (value, border) in enumerate(zip(new_columns.tuples, new_columns.borders))
             if value not in old_position
         ]
+        fresh_kernel = None
+        if fresh_columns and drifted.kernel_enabled:
+            # Evaluate the genuinely new columns through a kernel
+            # restricted to their bit positions — the same one-pass path
+            # a cold rebuild of the drifted layout would take.
+            from .kernel import PoolMatchKernel
+
+            fresh_kernel = PoolMatchKernel(
+                self.evaluator, new_columns, bits=[bit for bit, _ in fresh_columns]
+            )
 
         def matches_fresh(query: OntologyQuery, border: Border) -> bool:
             # Evaluate UCQs disjunct-by-disjunct, the exact path (and
@@ -508,9 +552,12 @@ class VerdictMatrix:
                 position = old_position.get(value)
                 if position is not None:
                     row |= ((old_row >> position) & 1) << bit
-            for bit, border in fresh_columns:
-                if matches_fresh(query, border):
-                    row |= 1 << bit
+            if fresh_kernel is not None:
+                row |= fresh_kernel.row(query)
+            else:
+                for bit, border in fresh_columns:
+                    if matches_fresh(query, border):
+                        row |= 1 << bit
             drifted._rows[key] = row
         return drifted
 

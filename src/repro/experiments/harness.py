@@ -26,6 +26,7 @@ from .scalability import (
     run_border_scalability,
     run_search_scalability,
 )
+from .kernel_exp import run_match_kernel
 from .service_exp import run_service_warm
 from .tables import ExperimentResult
 
@@ -43,6 +44,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "E9": run_batch_scoring,
     "E10": run_bitset_criteria,
     "E11": run_service_warm,
+    "E12": run_match_kernel,
 }
 
 

@@ -20,7 +20,8 @@ Four sweeps:
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 from ..core.border import BorderComputer
 from ..core.candidates import CandidateConfig, CandidateGenerator
@@ -40,6 +41,60 @@ from ..ontologies.university import build_university_specification
 from ..workloads.loans_gen import LoanWorkloadConfig, generate_loan_workload
 from ..workloads.university_gen import UniversityWorkloadConfig, generate_university_workload
 from .tables import ExperimentResult
+
+
+@dataclass(frozen=True)
+class LoanScoringPool:
+    """One loan-domain scoring workload: database, labelings, candidate pool.
+
+    The shared construction behind the engine benches/experiments (E9
+    batch scoring, E10 bitset criteria, E11 service warmth, E12 match
+    kernel) — one definition instead of four copies of the same
+    workload-generation snippet.  Exposed to the benches through the
+    ``bench_pool`` fixture in ``benchmarks/conftest.py``.
+    """
+
+    database: object
+    labelings: Tuple[Labeling, ...]
+    pool: Tuple[object, ...]
+
+
+def build_loan_pool(
+    applicants: int,
+    candidate_pool: int,
+    labeled_per_side: int,
+    labelings: int = 1,
+    seed: int = 7,
+    specification=None,
+    max_atoms: int = 2,
+) -> LoanScoringPool:
+    """Deterministic loan workload + labelings + bottom-up candidate pool.
+
+    Labeling ``i`` covers the name window starting at offset ``i`` (the
+    E9/E10 shape); the pool is generated from the first labeling.  Pass
+    a *specification* to generate under a non-default configuration
+    (e.g. the chase strategy); the pool itself depends only on the
+    database and borders.
+    """
+    database = generate_loan_workload(
+        LoanWorkloadConfig(applicants=applicants, seed=seed)
+    ).database
+    size = 2 * labeled_per_side
+    names = [f"APP{i:04d}" for i in range(size + labelings - 1)]
+    labeling_list = tuple(
+        Labeling(
+            positives=names[offset : offset + labeled_per_side],
+            negatives=names[offset + labeled_per_side : offset + size],
+            name=f"lambda_{offset}",
+        )
+        for offset in range(labelings)
+    )
+    specification = specification or build_loan_specification()
+    pool_system = OBDMSystem(specification, database, name="loan_pool")
+    pool = CandidateGenerator(
+        pool_system, 1, CandidateConfig(max_atoms=max_atoms, max_candidates=candidate_pool)
+    ).generate(labeling_list[0])
+    return LoanScoringPool(database, labeling_list, tuple(pool))
 
 
 def run_border_scalability(
@@ -136,30 +191,26 @@ def run_batch_scoring(
     rankings are checked to be identical; the table reports both times
     and the speedup.
     """
-    database = generate_loan_workload(
-        LoanWorkloadConfig(applicants=applicants, seed=seed)
-    ).database
+    workload = build_loan_pool(
+        applicants,
+        candidate_pool,
+        labeled_per_side,
+        labelings,
+        seed=seed,
+        specification=build_loan_specification().with_strategy("chase"),
+    )
+    database, labeling_list, pool = workload.database, workload.labelings, workload.pool
 
     def make_system(cache_enabled: bool) -> OBDMSystem:
         specification = build_loan_specification().with_strategy("chase")
         specification.engine.cache.enabled = cache_enabled
+        # E9 isolates the evaluation-*cache* speedup, so both sides run
+        # per-pair row construction: the match kernel saturates each
+        # border once per matrix even with the cache disabled, which
+        # would erase the per-call chase behaviour this baseline models
+        # (the kernel's own gate is E12 / bench_match_kernel).
+        specification.engine.kernel.enabled = False
         return OBDMSystem(specification, database, name="loan_chase_e9")
-
-    size = 2 * labeled_per_side
-    names = [f"APP{i:04d}" for i in range(size + labelings - 1)]
-    labeling_list = [
-        Labeling(
-            positives=names[offset : offset + labeled_per_side],
-            negatives=names[offset + labeled_per_side : offset + size],
-            name=f"lambda_{offset}",
-        )
-        for offset in range(labelings)
-    ]
-
-    pool_system = make_system(cache_enabled=True)
-    pool = CandidateGenerator(
-        pool_system, 1, CandidateConfig(max_atoms=2, max_candidates=candidate_pool)
-    ).generate(labeling_list[0])
 
     baseline_explainer = OntologyExplainer(make_system(cache_enabled=False))
     start = time.perf_counter()
@@ -240,30 +291,18 @@ def run_bitset_criteria(
     computation.  A second row checks that process-sharded batch scoring
     stays sequential-identical.
     """
-    database = generate_loan_workload(
-        LoanWorkloadConfig(applicants=applicants, seed=seed)
-    ).database
+    workload = build_loan_pool(
+        applicants, candidate_pool, labeled_per_side, labelings, seed=seed
+    )
+    database, labeling_list, pool = workload.database, workload.labelings, workload.pool
+    size = 2 * labeled_per_side
 
     def make_system(bitset_enabled: bool) -> OBDMSystem:
         specification = build_loan_specification()
         specification.engine.verdicts.enabled = bitset_enabled
         return OBDMSystem(specification, database, name="loan_bitset_e10")
 
-    size = 2 * labeled_per_side
-    names = [f"APP{i:04d}" for i in range(size + labelings - 1)]
-    labeling_list = [
-        Labeling(
-            positives=names[offset : offset + labeled_per_side],
-            negatives=names[offset + labeled_per_side : offset + size],
-            name=f"lambda_{offset}",
-        )
-        for offset in range(labelings)
-    ]
-
     bitset_system = make_system(bitset_enabled=True)
-    pool = CandidateGenerator(
-        bitset_system, 1, CandidateConfig(max_atoms=2, max_candidates=candidate_pool)
-    ).generate(labeling_list[0])
     configs = _criteria_phase_configs()
 
     legacy_explainer = OntologyExplainer(make_system(bitset_enabled=False))

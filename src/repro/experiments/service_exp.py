@@ -32,13 +32,12 @@ import tempfile
 import time
 from typing import List, Optional
 
-from ..core.candidates import CandidateConfig, CandidateGenerator
 from ..core.labeling import Labeling
 from ..engine.cache import CacheLimits
 from ..obdm.system import OBDMSystem
 from ..ontologies.loans import build_loan_specification
 from ..service import ExplanationService
-from ..workloads.loans_gen import LoanWorkloadConfig, generate_loan_workload
+from .scalability import build_loan_pool
 from .tables import ExperimentResult
 
 
@@ -79,9 +78,11 @@ def run_service_warm(
     seed: int = 7,
 ) -> ExperimentResult:
     """E11: resident warm service vs per-request cold rebuilds."""
-    database = generate_loan_workload(
-        LoanWorkloadConfig(applicants=applicants, seed=seed)
-    ).database
+    # The shared loan workload helper builds the database and the pool
+    # (its first labeling covers the same name window as the drift
+    # stream's first step, so the generated pool is identical).
+    workload = build_loan_pool(applicants, candidate_pool, labeled_per_side, seed=seed)
+    database, pool = workload.database, workload.pool
 
     def make_service(limits: Optional[CacheLimits] = None) -> ExplanationService:
         specification = build_loan_specification()
@@ -89,10 +90,6 @@ def run_service_warm(
         return ExplanationService(system, radius=1, cache_limits=limits)
 
     stream = _drift_stream(labeled_per_side, steps, drift_per_step)
-    pool_system = OBDMSystem(build_loan_specification(), database, name="loan_pool_e11")
-    pool = CandidateGenerator(
-        pool_system, 1, CandidateConfig(max_atoms=2, max_candidates=candidate_pool)
-    ).generate(stream[0])
 
     # -- cold: a stateless deployment rebuilds everything per request ------
     start = time.perf_counter()
@@ -104,7 +101,11 @@ def run_service_warm(
 
     # -- warm: one resident service, bounded caches (eviction enabled) ----
     warm_limits = CacheLimits(
-        saturations=1024, border_aboxes=1024, verdict_layouts=16, matches=100_000
+        saturations=1024,
+        border_aboxes=1024,
+        verdict_layouts=16,
+        matches=100_000,
+        subqueries=16,
     )
     warm_service = make_service(warm_limits)
     start = time.perf_counter()
@@ -172,7 +173,9 @@ def run_service_warm(
 
     # -- tight limits: eviction must thrash, results must not change -------
     tight_service = make_service(
-        CacheLimits(saturations=4, border_aboxes=4, verdict_layouts=1, matches=64)
+        CacheLimits(
+            saturations=4, border_aboxes=4, verdict_layouts=1, matches=64, subqueries=1
+        )
     )
     tight_reports = [
         tight_service.explain(labeling, candidates=pool, top_k=None)

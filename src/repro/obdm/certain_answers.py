@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple, Union
 
 from ..dl.ontology import Ontology
-from ..engine.cache import CacheLimits, EvaluationCache, VerdictPolicy
+from ..engine.cache import CacheLimits, EvaluationCache, KernelPolicy, VerdictPolicy
 from ..errors import CertainAnswerError
 from ..queries.atoms import Atom
 from ..queries.cq import ConjunctiveQuery
@@ -73,6 +73,10 @@ class CertainAnswerEngine:
         # restores the legacy per-pair J-matching path (differential
         # tests pin the two against each other).
         self.verdicts = VerdictPolicy()
+        # Toggle for the pool-level match kernel (one-pass verdict rows
+        # over a unified border index); disabling it restores per-pair
+        # row construction inside the verdict matrix.
+        self.kernel = KernelPolicy()
 
     # -- ABox handling -------------------------------------------------------
 

@@ -28,6 +28,25 @@ class Atom:
             raise ValueError("atom predicate must be a non-empty string")
         object.__setattr__(self, "args", tuple(make_term(a) for a in self.args))
 
+    def __hash__(self):
+        # Atoms key fact indexes, provenance maps and memo layers on the
+        # scoring hot path; the fields are deeply frozen, so the hash is
+        # computed once and remembered (same discipline as Border).
+        try:
+            return object.__getattribute__(self, "_cached_hash")
+        except AttributeError:
+            value = hash((self.predicate, self.args))
+            object.__setattr__(self, "_cached_hash", value)
+            return value
+
+    def __getstate__(self):
+        # Never ship the cached hash across a process boundary: string
+        # hashing is salted per process, so it would be stale on arrival
+        # (see Border.__getstate__ for the same rule).
+        state = dict(self.__dict__)
+        state.pop("_cached_hash", None)
+        return state
+
     def sort_key(self):
         """Deterministic total order, robust to mixed term/value types."""
         return (self.predicate, len(self.args), tuple(a.sort_key() for a in self.args))

@@ -69,7 +69,24 @@ class Constant:
         return NotImplemented
 
     def __hash__(self):
-        return hash((self._tag(), self.value))
+        # Constants key every fact index, provenance map and substitution
+        # on the scoring hot path; the value is immutable, so the hash is
+        # computed once and remembered (same discipline as Border).
+        try:
+            return object.__getattribute__(self, "_cached_hash")
+        except AttributeError:
+            value = hash((self._tag(), self.value))
+            object.__setattr__(self, "_cached_hash", value)
+            return value
+
+    def __getstate__(self):
+        # String hashing is salted per process (PYTHONHASHSEED), so a
+        # pickled cached hash would be stale in any other interpreter and
+        # corrupt every dict keyed by the constant there; recompute lazily
+        # on arrival instead.
+        state = dict(self.__dict__)
+        state.pop("_cached_hash", None)
+        return state
 
     def sort_key(self):
         """Total order across terms, robust to mixed value types."""

@@ -146,3 +146,34 @@ class TestUniversityBorders:
         assert border.layer(5) == frozenset()
         with pytest.raises(ExplanationError):
             border.layer(-1)
+
+
+class TestBordersDeduplication:
+    """``BorderComputer.borders`` must expand each distinct tuple once."""
+
+    def test_duplicate_raws_expand_layers_once(self, university_system, monkeypatch):
+        computer = BorderComputer(university_system.database)
+        calls = []
+        original = BorderComputer.layers
+
+        def counting_layers(self, raw, radius):
+            calls.append(raw)
+            return original(self, raw, radius)
+
+        monkeypatch.setattr(BorderComputer, "layers", counting_layers)
+        # The same tuple under several raw forms (plain value, 1-tuple,
+        # Constant) — the shape drift produces when a tuple moves between
+        # labels — must trigger exactly one layer expansion.
+        result = computer.borders(["A10", ("A10",), Constant("A10"), "B80"], 1)
+        assert len(result) == 2
+        assert len(calls) == 2
+
+    def test_second_call_hits_the_border_cache(self, university_system, monkeypatch):
+        computer = BorderComputer(university_system.database)
+        computer.borders(["A10", "B80"], 1)
+        def exploding_layers(self, raw, radius):
+            raise AssertionError(f"border cache missed for {raw!r}")
+
+        monkeypatch.setattr(BorderComputer, "layers", exploding_layers)
+        again = computer.borders(["A10", "B80", "A10"], 1)
+        assert set(again) == {(Constant("A10"),), (Constant("B80"),)}

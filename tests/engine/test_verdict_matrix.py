@@ -18,95 +18,23 @@ from repro.core.labeling import Labeling
 from repro.core.matching import MatchEvaluator, MatchProfile
 from repro.core.explainer import OntologyExplainer
 from repro.engine.verdicts import BitsetVerdictProfile, BorderColumns, VerdictMatrix
-from repro.obdm.system import OBDMSystem
-from repro.ontologies.compas import build_compas_specification
-from repro.ontologies.loans import build_loan_specification
-from repro.ontologies.movies import build_movie_specification
-from repro.ontologies.university import build_university_database, build_university_specification
-from repro.queries.atoms import Atom
+from repro.experiments.kernel_exp import (
+    PROBE_DOMAINS,
+    build_probe_system,
+    probe_labeling,
+    probe_pool,
+)
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UnionOfConjunctiveQueries
-from repro.workloads.compas_gen import CompasWorkloadConfig, generate_compas_workload
-from repro.workloads.loans_gen import LoanWorkloadConfig, generate_loan_workload
-from repro.workloads.movies_gen import MovieWorkloadConfig, generate_movie_workload
 
 
-# -- small deterministic systems per domain ----------------------------------
-
-
-def _university():
-    specification = build_university_specification()
-    return specification, build_university_database(specification.schema)
-
-
-def _compas():
-    specification = build_compas_specification()
-    database = generate_compas_workload(CompasWorkloadConfig(persons=12, seed=11)).database
-    return specification, database
-
-
-def _loans():
-    specification = build_loan_specification()
-    database = generate_loan_workload(LoanWorkloadConfig(applicants=12, seed=7)).database
-    return specification, database
-
-
-def _movies():
-    specification = build_movie_specification()
-    database = generate_movie_workload(
-        MovieWorkloadConfig(movies=8, directors=3, viewers=5, critics=2, seed=3)
-    ).database
-    return specification, database
-
-
-DOMAIN_BUILDERS = {
-    "university": _university,
-    "compas": _compas,
-    "loans": _loans,
-    "movies": _movies,
-}
-
-DOMAINS = sorted(DOMAIN_BUILDERS)
-
-
-def _system(domain: str) -> OBDMSystem:
-    specification, database = DOMAIN_BUILDERS[domain]()
-    return OBDMSystem(specification, database, name=f"{domain}_verdicts")
-
-
-def _labeling(system: OBDMSystem) -> Labeling:
-    constants = sorted(system.domain(), key=repr)[:6]
-    return Labeling(positives=constants[:3], negatives=constants[3:6], name="probe")
-
-
-def _candidate_pool(system: OBDMSystem):
-    """Concept/role CQs, one two-atom CQ and one UCQ per domain."""
-    ontology = system.ontology
-    concepts = sorted(ontology.concept_names)[:3]
-    roles = sorted(ontology.role_names)[:2]
-    pool = [
-        ConjunctiveQuery.of(("?x",), (Atom.of(concept, "?x"),), name=f"q_{concept}")
-        for concept in concepts
-    ]
-    pool.extend(
-        ConjunctiveQuery.of(("?x",), (Atom.of(role, "?x", "?y"),), name=f"q_{role}")
-        for role in roles
-    )
-    if len(concepts) >= 2:
-        pool.append(
-            ConjunctiveQuery.of(
-                ("?x",),
-                (Atom.of(concepts[0], "?x"), Atom.of(roles[0], "?x", "?y")),
-                name="q_conj",
-            )
-        )
-        pool.append(
-            UnionOfConjunctiveQueries.of(
-                (pool[0], pool[1]),
-                name="q_union",
-            )
-        )
-    return pool
+# The per-domain probe systems/pools are shared with the E12 experiment
+# and the kernel differential suite (repro.experiments.kernel_exp) — one
+# definition, so the three can never validate diverging workloads.
+DOMAINS = PROBE_DOMAINS
+_system = build_probe_system
+_labeling = probe_labeling
+_candidate_pool = probe_pool
 
 
 _REFERENCE_CACHE = {}
