@@ -46,7 +46,7 @@ PROFILES = {
 }
 
 
-def test_bench_batch_explain(bench_profile):
+def test_bench_batch_explain(bench_profile, bench_trajectory):
     config = PROFILES[bench_profile]
     result = run_batch_scoring(
         applicants=config.applicants,
@@ -61,6 +61,12 @@ def test_bench_batch_explain(bench_profile):
     assert row["identical_rankings"] is True, "batch ranking diverged from the per-call path"
 
     speedup = row["speedup"] if row["speedup"] is not None else float("inf")
+    bench_trajectory(
+        "batch_explain",
+        speedup=row["speedup"],
+        candidates=row["candidates"],
+        labelings=row["labelings"],
+    )
     print()
     print(f"batch explain bench [{bench_profile}]")
     print(result.render())

@@ -50,7 +50,7 @@ PROFILES = {
 }
 
 
-def test_bench_bitset_criteria(bench_profile):
+def test_bench_bitset_criteria(bench_profile, bench_trajectory):
     config = PROFILES[bench_profile]
     result = run_bitset_criteria(
         applicants=config.applicants,
@@ -72,6 +72,12 @@ def test_bench_bitset_criteria(bench_profile):
     )
 
     speedup = criteria_row["speedup"] if criteria_row["speedup"] is not None else float("inf")
+    bench_trajectory(
+        "bitset_criteria",
+        speedup=criteria_row["speedup"],
+        candidates=criteria_row["candidates"],
+        labelings=criteria_row["labelings"],
+    )
     print()
     print(f"bitset criteria bench [{bench_profile}]")
     print(result.render())

@@ -60,7 +60,7 @@ PROFILES = {
 }
 
 
-def test_bench_match_kernel(bench_profile, bench_pool):
+def test_bench_match_kernel(bench_profile, bench_pool, bench_trajectory):
     config = PROFILES[bench_profile]
     # One workload construction: the fixture builds it, the experiment
     # measures it (run_match_kernel would otherwise rebuild the same
@@ -101,6 +101,12 @@ def test_bench_match_kernel(bench_profile, bench_pool):
     )
 
     speedup = build_row["speedup"] if build_row["speedup"] is not None else float("inf")
+    bench_trajectory(
+        "match_kernel",
+        speedup=build_row["speedup"],
+        candidates=build_row["candidates"],
+        borders=build_row["borders"],
+    )
     print()
     print(f"match kernel bench [{bench_profile}]")
     print(result.render())

@@ -54,7 +54,7 @@ PROFILES = {
 }
 
 
-def test_bench_service_warm(bench_profile):
+def test_bench_service_warm(bench_profile, bench_trajectory):
     config = PROFILES[bench_profile]
     result = run_service_warm(
         applicants=config.applicants,
@@ -85,6 +85,12 @@ def test_bench_service_warm(bench_profile):
     )
 
     speedup = warm_row["speedup"] if warm_row["speedup"] is not None else float("inf")
+    bench_trajectory(
+        "service_warm",
+        speedup=warm_row["speedup"],
+        requests=warm_row["requests"],
+        drift_updates=warm_row["drift_updates"],
+    )
     print()
     print(f"service warm bench [{bench_profile}]")
     print(result.render())

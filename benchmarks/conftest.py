@@ -7,11 +7,16 @@ re-produces the paper's numbers alongside the timing statistics.
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 BENCH_PROFILES = ("quick", "full")
+
+TRAJECTORY_DIR = Path(__file__).resolve().parent / "trajectories"
 
 
 def pytest_addoption(parser):
@@ -64,3 +69,42 @@ def bench_profile() -> str:
             f"REPRO_BENCH_PROFILE must be one of {BENCH_PROFILES}, got {profile!r}"
         )
     return profile
+
+
+@pytest.fixture(scope="session")
+def bench_trajectory(bench_profile):
+    """Recorder that persists each gate's outcome across runs.
+
+    ``record("match_kernel", speedup=4.2, candidates=36)`` appends one
+    run record — UTC timestamp, gate name, profile, speedup and any
+    extra metrics — to ``benchmarks/trajectories/BENCH_match_kernel.json``.
+    The files accumulate a per-machine performance trajectory (they are
+    git-ignored), so a gate that starts drifting toward its threshold is
+    visible *before* it fails.
+    """
+
+    def record(gate: str, speedup=None, **metrics):
+        TRAJECTORY_DIR.mkdir(parents=True, exist_ok=True)
+        path = TRAJECTORY_DIR / f"BENCH_{gate}.json"
+        runs = []
+        if path.exists():
+            try:
+                runs = json.loads(path.read_text())
+            except ValueError:
+                runs = []  # corrupt file: restart the trajectory
+        if not isinstance(runs, list):
+            runs = []
+        entry = {
+            "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "gate": gate,
+            "profile": bench_profile,
+            "speedup": speedup,
+        }
+        entry.update(metrics)
+        runs.append(entry)
+        path.write_text(json.dumps(runs, indent=2) + "\n")
+        return path
+
+    return record

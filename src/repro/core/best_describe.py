@@ -26,10 +26,11 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 from ..errors import CriterionError, ExplanationError, ScoringError, SearchBudgetExceeded
 from ..obdm.certain_answers import OntologyQuery
 from ..obdm.system import OBDMSystem
+from ..queries.atoms import Atom
 from ..queries.cq import ConjunctiveQuery
 from ..queries.ucq import UnionOfConjunctiveQueries, query_key
 from .border import BorderComputer
-from .candidates import CandidateConfig, CandidateGenerator
+from .candidates import CandidateConfig, CandidateGenerator, CandidatePool
 from .criteria import (
     DEFAULT_REGISTRY,
     DELTA_1,
@@ -205,6 +206,45 @@ class QueryScorer:
             best = max(best, self.expression.score(values))
         return best
 
+    def zero_row_ceiling(self) -> float:
+        """An upper bound of the Z-score of *any* zero-verdict-row query.
+
+        Generator-level pruning drops candidates whose verdict row is
+        provably zero, i.e. whose profile is exactly
+        ``CountProfile(0, P, 0, N)``.  Their profile-based criterion
+        values are therefore all identical; only the syntax criteria
+        (δ5 = 1/#atoms, δ6 = 1/#disjuncts) vary with the dropped query,
+        and both live in ``(0, 1]``, so the maximum of the (monotone)
+        expression over the ``{0, 1}`` corners of those two dimensions
+        bounds every dropped candidate's score.  Only called behind
+        :meth:`BestDescriptionSearch._prunes`, whose
+        ``MONOTONE_CRITERIA`` gate guarantees δ5/δ6 are the only
+        query-syntax criteria in Δ.
+        """
+        columns = self.verdict_matrix().columns
+        profile = CountProfile(
+            0, columns.positive_count, 0, columns.negative_count
+        )
+        placeholder = ConjunctiveQuery.of(
+            ("?x",), (Atom.of("__zero_row__", "?x"),)
+        )
+        context = EvaluationContext(
+            placeholder, profile, self.labeling, self.evaluator.radius
+        )
+        fixed: Dict[str, float] = {}
+        varying: List[str] = []
+        for criterion in self.criteria:
+            if criterion.key in ("delta5", "delta6"):
+                varying.append(criterion.key)
+            else:
+                fixed[criterion.key] = criterion.evaluate(context)
+        best = -math.inf
+        for corner in itertools.product((0.0, 1.0), repeat=len(varying)):
+            values = dict(fixed)
+            values.update(zip(varying, corner))
+            best = max(best, self.expression.score(values))
+        return best
+
 
 class BestDescriptionSearch:
     """End-to-end search for the best-describing query over a candidate space."""
@@ -356,15 +396,15 @@ class BestDescriptionSearch:
     # -- automatic candidate construction ----------------------------------------------
 
     def generate_candidates(
-        self, config: Optional[CandidateConfig] = None
-    ) -> List[ConjunctiveQuery]:
+        self, config: Optional[CandidateConfig] = None, pruner=None
+    ) -> CandidatePool:
         generator = CandidateGenerator(
             self.system, self.radius, config, border_computer=self.evaluator.borders
         )
-        return generator.generate(self.labeling)
+        return generator.generate(self.labeling, pruner=pruner)
 
     def refine_candidates(
-        self, config: Optional[RefinementConfig] = None
+        self, config: Optional[RefinementConfig] = None, pruner=None
     ) -> List[ConjunctiveQuery]:
         search = RefinementSearch(
             self.system,
@@ -372,8 +412,21 @@ class BestDescriptionSearch:
             self.evaluator,
             score_function=self.scorer.score_value,
             config=config,
+            pruner=pruner,
         )
         return [query for query, _ in search.search()]
+
+    def _generator_pruner(self):
+        """A provenance pruner for candidate generation, when sound here.
+
+        Same gate as bound pruning (:meth:`_prunes`): the pruner's
+        soundness argument leans on all zero-row candidates scoring at
+        or below :meth:`QueryScorer.zero_row_ceiling`, which only holds
+        for the monotone built-in (Δ, Z) configurations.
+        """
+        if not self._prunes():
+            return None
+        return self.scorer.verdict_matrix().pruner()
 
     def candidate_pool(
         self,
@@ -381,19 +434,31 @@ class BestDescriptionSearch:
         candidate_config: Optional[CandidateConfig] = None,
         refinement_config: Optional[RefinementConfig] = None,
         extra_candidates: Iterable[OntologyQuery] = (),
-    ) -> List[OntologyQuery]:
+        pruner=None,
+    ) -> CandidatePool:
         """The deduplicated candidate pool the chosen strategy produces.
 
         ``strategy`` is one of ``"enumerate"`` (bottom-up), ``"refine"``
         (top-down beam search) or ``"both"``.  Extracted from
         :meth:`search` so batch scoring can build the identical pool and
-        score it concurrently.
+        score it concurrently.  The result is a plain list that also
+        carries the bottom-up generator's accounting
+        (:class:`~repro.core.candidates.CandidatePool`); with a *pruner*
+        the generator and the refinement beam both skip provably
+        zero-row candidates before materialisation.
         """
         candidates: List[OntologyQuery] = list(extra_candidates)
+        generated = truncated = pruned = checked = unexplored = 0
         if strategy in ("enumerate", "both"):
-            candidates.extend(self.generate_candidates(candidate_config))
+            generated_pool = self.generate_candidates(candidate_config, pruner=pruner)
+            candidates.extend(generated_pool)
+            generated = generated_pool.generated
+            truncated = generated_pool.truncated
+            pruned = generated_pool.pruned
+            checked = generated_pool.checked
+            unexplored = generated_pool.unexplored_seeds
         if strategy in ("refine", "both"):
-            candidates.extend(self.refine_candidates(refinement_config))
+            candidates.extend(self.refine_candidates(refinement_config, pruner=pruner))
         if strategy not in ("enumerate", "refine", "both"):
             raise ExplanationError(
                 f"unknown search strategy {strategy!r}; expected enumerate/refine/both"
@@ -405,7 +470,14 @@ class BestDescriptionSearch:
             if key not in seen:
                 seen.add(key)
                 unique.append(candidate)
-        return unique
+        return CandidatePool(
+            unique,
+            generated=generated,
+            truncated=truncated,
+            pruned=pruned,
+            checked=checked,
+            unexplored_seeds=unexplored,
+        )
 
     def search(
         self,
@@ -419,8 +491,46 @@ class BestDescriptionSearch:
 
         With *top_k* on the kernel path, bound pruning skips candidates
         that provably cannot reach the top ``k`` — the returned prefix
-        is identical to the exhaustive ranking's either way.
+        is identical to the exhaustive ranking's either way.  Candidate
+        *generation* is additionally pruned through the kernel's
+        provenance bounds: conjunctions whose AND-of-supports is zero
+        are never materialised.  Dropping them is only accepted when the
+        result is provably the exhaustive prefix — the k-th exact score
+        must be strictly above :meth:`QueryScorer.zero_row_ceiling` (all
+        dropped candidates score at or below it) and the
+        ``max_candidates`` cutoff must provably not have interacted with
+        pruning; otherwise the pool is regenerated exhaustively.
         """
+        pruner = self._generator_pruner() if top_k is not None else None
+        if pruner is not None:
+            config = candidate_config or CandidateConfig()
+            pool = self.candidate_pool(
+                strategy,
+                candidate_config,
+                refinement_config,
+                extra_candidates,
+                pruner=pruner,
+            )
+            if pool.pruned == 0:
+                # Nothing was dropped, so the pool IS the exhaustive pool.
+                return self.top_k(pool, top_k)
+            certified = (
+                pool.exhausted
+                and pool.generated + pool.pruned <= config.max_candidates
+            )
+            if certified:
+                try:
+                    ceiling = self.scorer.zero_row_ceiling()
+                except (CriterionError, ScoringError):
+                    ceiling = None
+                if ceiling is not None:
+                    ranking = self.top_k(pool, top_k)
+                    if len(ranking) == top_k and ranking[-1].score > ceiling:
+                        return ranking
+            # Fall through: the pruned pool cannot be certified top-k
+            # equivalent (truncation may have interacted with pruning, or
+            # a zero-row candidate could still reach the top k), so the
+            # pool is regenerated without the pruner.
         pool = self.candidate_pool(
             strategy, candidate_config, refinement_config, extra_candidates
         )

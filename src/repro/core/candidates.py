@@ -64,6 +64,53 @@ class CandidateConfig:
     """Use only the first N positive tuples as seeds (None = all)."""
 
 
+class CandidatePool(List[ConjunctiveQuery]):
+    """A generated candidate pool plus its generation accounting.
+
+    A plain list of queries (drop-in for every existing consumer) that
+    also reports how the pool was shaped: ``generated`` distinct
+    candidates were materialised, ``truncated`` of them were dropped by
+    the deterministic ``max_candidates`` cutoff, ``unexplored_seeds``
+    positive tuples were never abstracted because the pool was already
+    full, and — when a :class:`~repro.engine.kernel.ProvenancePruner`
+    was supplied — ``pruned`` of ``checked`` candidate bodies were
+    discarded *before* materialisation because their AND-of-supports
+    bound was zero.
+
+    ``generated``/``truncated`` only cover the seeds that were explored;
+    :attr:`exhausted` is the flag that says the numbers describe the
+    *whole* candidate space (no cutoff fired anywhere).
+    """
+
+    def __init__(
+        self,
+        queries: Iterable[ConjunctiveQuery] = (),
+        generated: int = 0,
+        truncated: int = 0,
+        pruned: int = 0,
+        checked: int = 0,
+        unexplored_seeds: int = 0,
+    ):
+        super().__init__(queries)
+        self.generated = generated
+        self.truncated = truncated
+        self.pruned = pruned
+        self.checked = checked
+        self.unexplored_seeds = unexplored_seeds
+
+    @property
+    def exhausted(self) -> bool:
+        """True when enumeration ran to completion (nothing was cut off)."""
+        return self.truncated == 0 and self.unexplored_seeds == 0
+
+    def __str__(self):
+        return (
+            f"CandidatePool(size={len(self)}, generated={self.generated}, "
+            f"truncated={self.truncated}, unexplored_seeds={self.unexplored_seeds}, "
+            f"pruned={self.pruned})"
+        )
+
+
 class CandidateGenerator:
     """Generates candidate CQs from the borders of the positive examples."""
 
@@ -79,32 +126,65 @@ class CandidateGenerator:
         self.config = config or CandidateConfig()
         self.borders = border_computer or BorderComputer(system.database)
         self._chaser = ChaseEngine(system.ontology)
+        self._skipped_variants = 0
 
     # -- public API --------------------------------------------------------
 
-    def generate(self, labeling: Labeling) -> List[ConjunctiveQuery]:
-        """Candidate pool for a labeling (seeded by its positive tuples)."""
+    def generate(self, labeling: Labeling, pruner=None) -> CandidatePool:
+        """Candidate pool for a labeling (seeded by its positive tuples).
+
+        With a :class:`~repro.engine.kernel.ProvenancePruner`, candidate
+        bodies whose provenance bound is zero are skipped before the
+        query object is even built (the pool reports how many).
+
+        The ``max_candidates`` cutoff is deterministic: candidates carry
+        a stable canonical ordering — seeds sorted by ``repr``, bodies
+        per seed in ascending atom count over lexicographically sorted
+        fact subsets — and truncation keeps exactly the first
+        ``max_candidates`` of it.  Seeds beyond the one that fills the
+        pool are never abstracted (borders can hold hundreds of facts,
+        so running every seed to completion just to count the tail would
+        dwarf the search itself); instead the cutoff is *surfaced*:
+        ``truncated`` counts the overflowing seed's dropped remainder,
+        ``unexplored_seeds`` the seeds never visited, and
+        ``pool.exhausted`` is True exactly when neither fired — i.e.
+        when ``generated`` describes the complete candidate space.
+        """
         seeds = sorted(labeling.positives, key=repr)
         if self.config.max_positive_seeds is not None:
             seeds = seeds[: self.config.max_positive_seeds]
+        checked_before = pruner.checked if pruner is not None else 0
+        self._skipped_variants = 0
         pool: List[ConjunctiveQuery] = []
         seen: Set[Tuple] = set()
-        for seed in seeds:
-            for candidate in self.candidates_for(seed):
+        truncated = 0
+        unexplored_seeds = 0
+        for index, seed in enumerate(seeds):
+            if len(pool) >= self.config.max_candidates:
+                unexplored_seeds = len(seeds) - index
+                break
+            for candidate in self.candidates_for(seed, pruner=pruner):
                 signature = candidate.signature()
                 if signature in seen:
                     continue
                 seen.add(signature)
-                pool.append(candidate)
-                if len(pool) >= self.config.max_candidates:
-                    break
-            if len(pool) >= self.config.max_candidates:
-                break
+                if len(pool) < self.config.max_candidates:
+                    pool.append(candidate)
+                else:
+                    truncated += 1
+        generated = len(pool) + truncated
         if self.config.semantic_deduplication:
             pool = deduplicate_queries(pool)
-        return pool
+        return CandidatePool(
+            pool,
+            generated=generated,
+            truncated=truncated,
+            pruned=self._skipped_variants,
+            checked=(pruner.checked - checked_before) if pruner is not None else 0,
+            unexplored_seeds=unexplored_seeds,
+        )
 
-    def candidates_for(self, raw) -> List[ConjunctiveQuery]:
+    def candidates_for(self, raw, pruner=None) -> List[ConjunctiveQuery]:
         """Candidate queries abstracted from one positive tuple's border."""
         key = normalize_tuple(raw)
         border = self.borders.border(key, self.radius)
@@ -116,11 +196,16 @@ class CandidateGenerator:
         candidates = abstraction.enumerate(
             max_atoms=self.config.max_atoms,
             max_kept_constants=self.config.max_kept_constants,
+            pruner=pruner,
         )
+        self._skipped_variants += abstraction.skipped
         if self.config.include_most_specific:
             most_specific = abstraction.most_specific_query()
             if most_specific is not None:
-                candidates.append(most_specific)
+                if pruner is None or pruner.admits(most_specific.body):
+                    candidates.append(most_specific)
+                else:
+                    self._skipped_variants += 1
         return candidates
 
     # -- helpers -------------------------------------------------------------
@@ -153,6 +238,9 @@ class _BorderAbstraction:
         self.key = key
         self.answer_variables = answer_variables
         self.facts = sorted(facts)
+        # Upper bound on how many abstracted bodies the last enumerate()
+        # call skipped via its pruner (variant-weighted, see enumerate).
+        self.skipped = 0
         self._constant_to_term: Dict[Constant, Term] = {}
         factory = VariableFactory(prefix="y")
         for constant, variable in zip(key, answer_variables):
@@ -185,16 +273,43 @@ class _BorderAbstraction:
 
     # -- enumeration -----------------------------------------------------------------
 
-    def enumerate(self, max_atoms: int, max_kept_constants: int) -> List[ConjunctiveQuery]:
-        """All connected sub-conjunctions up to ``max_atoms`` atoms."""
+    def enumerate(
+        self, max_atoms: int, max_kept_constants: int, pruner=None
+    ) -> List[ConjunctiveQuery]:
+        """All connected sub-conjunctions up to ``max_atoms`` atoms.
+
+        With a pruner, each admissible subset is first checked through
+        its *widest* abstraction (no constants kept: variabilising an
+        argument only ever widens an atom's provenance support, so a
+        zero bound there proves a zero bound for every kept-constant
+        variant and the whole subset is skipped); surviving non-empty
+        ``kept`` variants are then checked individually, all before any
+        :class:`ConjunctiveQuery` is materialised.
+        """
         queries: List[ConjunctiveQuery] = []
         seen: Set[Tuple] = set()
+        self.skipped = 0
         for size in range(1, max_atoms + 1):
             for subset in itertools.combinations(self.facts, size):
                 if not self._is_admissible(subset):
                     continue
+                if pruner is not None and not pruner.admits(
+                    tuple(self._abstract_atom(fact, frozenset()) for fact in subset)
+                ):
+                    # The whole subset dies; count every kept-constant
+                    # variant it would have produced, so callers can
+                    # bound how many queries pruning hid (the cutoff
+                    # certificate in BestDescriptionSearch.search needs
+                    # an upper bound, not the number of oracle calls).
+                    self.skipped += sum(
+                        1 for _ in self._constant_subsets(subset, max_kept_constants)
+                    )
+                    continue
                 for kept in self._constant_subsets(subset, max_kept_constants):
                     body = tuple(self._abstract_atom(fact, kept) for fact in subset)
+                    if pruner is not None and kept and not pruner.admits(body):
+                        self.skipped += 1
+                        continue
                     query = self._safe_query(body)
                     if query is None:
                         continue

@@ -63,6 +63,7 @@ class RefinementSearch:
         evaluator: MatchEvaluator,
         score_function: Callable[[ConjunctiveQuery], float],
         config: Optional[RefinementConfig] = None,
+        pruner=None,
     ):
         if labeling.arity != 1:
             raise ExplanationError(
@@ -74,6 +75,11 @@ class RefinementSearch:
         self.evaluator = evaluator
         self.score_function = score_function
         self.config = config or RefinementConfig()
+        # Generator-level pruning oracle (see
+        # repro.engine.kernel.ProvenancePruner): lets prune_zero_coverage
+        # discard a refinement from its provenance bound alone, without
+        # evaluating a full match profile.
+        self.pruner = pruner
         self.reasoner = Reasoner(system.ontology)
         self._answer_variable = Variable("x")
         self._abox_predicates = self._relevant_predicates()
@@ -203,6 +209,16 @@ class RefinementSearch:
             if signature in scored:
                 return scored[signature]
             if self.config.prune_zero_coverage:
+                # A failed provenance bound proves true_positives == 0
+                # (the bound is a superset of the verdict row), so the
+                # refinement is discarded on exactly the condition the
+                # profile evaluation below would test — just without
+                # J-matching anything.
+                if self.pruner is not None and not self.pruner.admits_positive(
+                    query.body
+                ):
+                    scored[signature] = (query, float("-inf"))
+                    return scored[signature]
                 profile = self.evaluator.profile(query, self.labeling)
                 if profile.true_positives == 0:
                     scored[signature] = (query, float("-inf"))

@@ -81,6 +81,38 @@ components:
     ``benchmarks/bench_match_kernel.py`` gates a ≥3× matrix-build
     speedup.
 
+:class:`~repro.engine.batch_kernel.MultiLabelingBatchKernel`
+    The bit-sliced **multi-labeling batch kernel**: where the pool
+    kernel runs one pass *per labeling*, this merges the borders of
+    many column layouts into one deduplicated global layout, runs a
+    single :class:`~repro.engine.kernel.PoolMatchKernel` over it, and
+    slices each labeling's rows out of the global rows with a
+    vectorized bit gather — one homomorphism enumeration per candidate
+    for the *whole batch*.  Rows live in a 2-D numpy ``uint64`` bit
+    matrix and the δ1–δ4 confusion counts of every candidate come from
+    two masked-popcount passes
+    (:func:`~repro.engine.batch_kernel.masked_popcounts`) instead of
+    per-row ``int.bit_count``.  Entry points:
+    :meth:`~repro.engine.verdicts.VerdictMatrix.build_batch` (many
+    matrices, one dispatch — used by the ``BatchExplainer`` thread path
+    and :meth:`~repro.service.ExplanationService.warm_start`) and the
+    single-layout fast path inside ``VerdictMatrix.build``.  The
+    kernel's per-atom provenance supports also feed **generator-level
+    pruning** (:meth:`~repro.engine.kernel.ProvenancePruner`): candidate
+    conjunctions whose AND-of-supports bound is empty are discarded by
+    ``repro.core.candidates`` / ``repro.core.refinement`` before a query
+    object is even materialised.  **Toggle:**
+    ``specification.engine.kernel.batch.enabled``
+    (:class:`~repro.engine.cache.BatchKernelPolicy`); numpy is imported
+    *only* in :mod:`repro.engine.batch_kernel` and the flag is inert
+    without it (``HAS_NUMPY``), falling back to the per-labeling kernel
+    transparently.  The differential suite
+    (``tests/engine/test_batch_kernel.py``) pins batch rows and reports
+    byte-identical to the per-labeling and legacy paths across all four
+    domains × {thread, process}, and
+    ``benchmarks/bench_batch_labelings.py`` gates a ≥3× batch-dispatch
+    speedup.
+
 :class:`~repro.engine.batch.BatchExplainer`
     Concurrent batch scoring of candidate pools across one or many
     labelings via :mod:`concurrent.futures`, with deterministic result
@@ -122,14 +154,15 @@ legacy per-pair path (toggle via ``VerdictPolicy.enabled``); both
 assert byte-identical rankings.
 
 Next scaling steps this substrate unlocks (see ROADMAP.md): async
-serving of explanation requests with a warm shared cache, cross-request
-cache persistence, and SIMD/word-parallel criteria kernels over the
-verdict bitsets.
+serving of explanation requests with a warm shared cache, fact-level
+database drift with incremental index maintenance, and out-of-core
+(SQL-pushdown) backends for beyond-RAM ABoxes.
 """
 
 from __future__ import annotations
 
 from .cache import (
+    BatchKernelPolicy,
     CacheLimits,
     CacheStats,
     EvaluationCache,
@@ -141,6 +174,7 @@ from .kernel import PoolMatchKernel, UnifiedBorderIndex
 
 __all__ = [
     "BatchExplainer",
+    "BatchKernelPolicy",
     "BitsetVerdictProfile",
     "BorderColumns",
     "CacheLimits",
@@ -148,6 +182,7 @@ __all__ = [
     "EvaluationCache",
     "KernelPolicy",
     "LRUStore",
+    "MultiLabelingBatchKernel",
     "PoolMatchKernel",
     "UnifiedBorderIndex",
     "VerdictMatrix",
@@ -164,6 +199,7 @@ _LAZY_MODULES = {
     "BatchExplainer": "batch",
     "BitsetVerdictProfile": "verdicts",
     "BorderColumns": "verdicts",
+    "MultiLabelingBatchKernel": "batch_kernel",
     "VerdictMatrix": "verdicts",
 }
 

@@ -158,12 +158,7 @@ class BatchExplainer:
         """Score every (labeling, candidate) pair, preserving pool order."""
         if self.executor == "process":
             return self._score_pools_sharded(searches, pools)
-        for search, pool in zip(searches, pools):
-            # Build each labeling's verdict matrix up front (a no-op on
-            # the legacy path): worker threads then only do criteria
-            # arithmetic, instead of racing on the lazy matrix init and
-            # duplicating the one-pass row build.
-            search.scorer.prepare(pool)
+        self._prepare_pools(searches, pools)
         results: List[List[Optional[ScoredQuery]]] = [[None] * len(pool) for pool in pools]
         tasks = [
             (labeling_index, candidate_index, query)
@@ -186,6 +181,32 @@ class BatchExplainer:
                 labeling_index, candidate_index = futures[future]
                 results[labeling_index][candidate_index] = future.result()
         return results  # type: ignore[return-value]
+
+    def _prepare_pools(
+        self,
+        searches: Sequence[BestDescriptionSearch],
+        pools: Sequence[Sequence[OntologyQuery]],
+    ) -> None:
+        """Build every labeling's verdict matrix up front (thread path).
+
+        Worker threads then only do criteria arithmetic, instead of
+        racing on the lazy matrix init and duplicating the one-pass row
+        build.  All searches share one system, so the whole batch goes
+        through :meth:`VerdictMatrix.build_batch` — one bit-sliced
+        kernel dispatch over the union of the labelings' borders when
+        ``engine.kernel.batch`` is on, per-labeling builds otherwise.
+        A no-op per scorer on the legacy (non-matrix) path.
+        """
+        matrices = []
+        matrix_pools: List[Sequence[OntologyQuery]] = []
+        for search, pool in zip(searches, pools):
+            if search.scorer.uses_verdict_matrix:
+                matrices.append(search.scorer.verdict_matrix())
+                matrix_pools.append(pool)
+        if matrices:
+            from .verdicts import VerdictMatrix
+
+            VerdictMatrix.build_batch(matrices, matrix_pools)
 
     def _pickle_for_sharding(self, value, what: str) -> bytes:
         try:

@@ -122,13 +122,48 @@ class KernelPolicy:
     :class:`~repro.obdm.certain_answers.CertainAnswerEngine` owns one
     (``specification.engine.kernel``), in the same style as
     ``engine.verdicts``.
+
+    ``kernel.batch`` nests the bit-sliced multi-labeling batch kernel's
+    own switch (:class:`BatchKernelPolicy`), so the three layers toggle
+    independently: ``kernel.enabled=False`` forces per-pair rows
+    regardless of the batch flag, and ``kernel.batch.enabled=False``
+    keeps the PR-5 per-labeling kernel as the row builder.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.batch = BatchKernelPolicy()
+
+    def __str__(self):
+        return f"KernelPolicy(enabled={self.enabled}, batch={self.batch})"
+
+
+class BatchKernelPolicy:
+    """Switch for the bit-sliced multi-labeling batch kernel.
+
+    When ``enabled`` (the default) *and* numpy is importable,
+    :meth:`~repro.engine.verdicts.VerdictMatrix.build` /
+    :meth:`~repro.engine.verdicts.VerdictMatrix.build_batch` route row
+    construction through
+    :class:`~repro.engine.batch_kernel.MultiLabelingBatchKernel`: one
+    :class:`~repro.engine.kernel.UnifiedBorderIndex` over the union of
+    all layouts' borders serves every column layout at once, rows are
+    packed into a 2-D ``uint64`` word matrix, and the δ1–δ4 confusion
+    counts of a whole pool × labeling batch become vectorized popcount
+    passes (``numpy.bitwise_count``) instead of per-row Python
+    popcounts.  Disabling it restores the per-labeling PR-5 kernel
+    dispatch, which ``tests/engine/test_batch_kernel.py`` and
+    ``benchmarks/bench_batch_labelings.py`` use as the reference.  The
+    numpy dependency stays behind this switch: without numpy the flag is
+    inert and every path falls back transparently (see
+    :data:`repro.engine.batch_kernel.HAS_NUMPY`).
     """
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
 
     def __str__(self):
-        return f"KernelPolicy(enabled={self.enabled})"
+        return f"BatchKernelPolicy(enabled={self.enabled})"
 
 
 class CacheStats:
@@ -152,6 +187,10 @@ class CacheStats:
         "verdict_row_misses",
         "subquery_hits",
         "subquery_misses",
+        "support_hits",
+        "support_misses",
+        "batch_dispatches",
+        "batch_rows",
         "evictions",
     )
 

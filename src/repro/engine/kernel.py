@@ -74,9 +74,11 @@ class UnifiedBorderIndex:
     keeps a provenance bitset of the columns it occurs in.
     """
 
-    __slots__ = ("full_mask", "_by_predicate", "_by_position")
+    __slots__ = ("full_mask", "_by_predicate", "_by_position", "_support_memo", "_stats")
 
-    def __init__(self, entries: Sequence[Tuple[int, FrozenSet[Atom]]]):
+    def __init__(
+        self, entries: Sequence[Tuple[int, FrozenSet[Atom]]], stats=None
+    ):
         provenance: Dict[Atom, int] = {}
         full_mask = 0
         for bit, facts in entries:
@@ -103,6 +105,13 @@ class UnifiedBorderIndex:
                 ).append(row_id)
         self._by_predicate = by_predicate
         self._by_position = by_position
+        # Support masks are memoized on the index itself: the index is
+        # immutable, each atom's support is asked once per atom per query
+        # (row bounds, generator pruning, upper bounds), and recomputing
+        # it rescans every matching fact.  The memo key abstracts variable
+        # names away — only the predicate and the constant pattern matter.
+        self._support_memo: Dict[Tuple, int] = {}
+        self._stats = stats
 
     def candidates(self, atom: Atom) -> List[Tuple[Tuple, int]]:
         """(argument row, provenance mask) pairs that could match *atom*.
@@ -131,19 +140,31 @@ class UnifiedBorderIndex:
 
         Any border the atom maps into under *some* homomorphism is
         contained in this mask, which is what makes the per-atom AND of
-        supports a sound upper bound on a query's verdict row.
+        supports a sound upper bound on a query's verdict row.  Memoized
+        per (predicate, arity, constant pattern) — hit/miss traffic is
+        visible in ``CacheStats.support_hits`` / ``support_misses`` when
+        the index carries a stats object.
         """
-        const_positions = [
+        const_positions = tuple(
             (position, argument)
             for position, argument in enumerate(atom.args)
             if is_constant(argument)
-        ]
+        )
+        key = (atom.predicate, len(atom.args)) + const_positions
+        union = self._support_memo.get(key)
+        if union is not None:
+            if self._stats is not None:
+                self._stats.count("support_hits")
+            return union
+        if self._stats is not None:
+            self._stats.count("support_misses")
         union = 0
         for args, mask in self.candidates(atom):
             if union | mask == union:
                 continue
             if all(args[position] == argument for position, argument in const_positions):
                 union |= mask
+        self._support_memo[key] = union
         return union
 
 
@@ -174,7 +195,7 @@ class PoolMatchKernel:
         self._target_bits: Dict[int, Dict[Tuple, int]] = {}
         self._arity_masks: Dict[int, int] = {}
         self._tables: Dict[Tuple, Dict[Tuple, int]] = {}
-        self._support_memo: Dict[Tuple, int] = {}
+        self._rewritten_support_memo: Dict[Tuple, int] = {}
 
     # -- index construction ------------------------------------------------
 
@@ -200,7 +221,7 @@ class PoolMatchKernel:
             targets = self._target_bits.setdefault(arity, {})
             targets[value] = targets.get(value, 0) | (1 << bit)
             self._arity_masks[arity] = self._arity_masks.get(arity, 0) | (1 << bit)
-        self._index = UnifiedBorderIndex(entries)
+        self._index = UnifiedBorderIndex(entries, stats=self._cache.stats)
         if self._cache.enabled:
             # Content-addressed identity of this index: the column layout
             # key embeds every border's tuple, radius and atom layers, so
@@ -413,27 +434,147 @@ class PoolMatchKernel:
     def _cq_bound(self, cq: ConjunctiveQuery, arity_mask: int, index) -> int:
         bound = arity_mask
         for atom in cq.body:
-            bound &= self._atom_support(atom, index)
+            bound &= index.support(atom)
             if not bound:
                 break
         return bound
 
-    def _atom_support(self, atom: Atom, index: UnifiedBorderIndex) -> int:
-        # Memoized per constant pattern: variable names never change the
-        # support, so the memo key abstracts them away.
+    # -- generator-facing provenance supports ------------------------------
+
+    def index(self) -> UnifiedBorderIndex:
+        """The unified border index (built on first access)."""
+        return self._ensure_index()
+
+    def atom_provenance_support(self, atom: Atom) -> int:
+        """Borders a *query* atom could possibly map into, strategy-aware.
+
+        Under the chase strategy the index already stores saturated
+        facts, so the raw index support is the answer.  Under the
+        rewriting strategy a query atom can be satisfied through a
+        rewritten disjunct whose atoms differ from the original (e.g.
+        ``likes(x, y)`` satisfied by a ``studies`` fact), so the raw
+        support would be *unsound* as a pruning bound; instead the
+        single-atom query over the atom's variables is perfectly
+        rewritten (memoized in the shared cache) and the support is the
+        OR over its disjuncts of each disjunct's support AND.  Either
+        way the result is a superset of the borders any homomorphism of
+        a body containing *atom* can lie in — the raw material of
+        generator-level pruning (:class:`ProvenancePruner`).
+        """
+        index = self._ensure_index()
+        if self._strategy != "rewriting":
+            return index.support(atom)
         key = (atom.predicate, len(atom.args)) + tuple(
             (position, argument)
             for position, argument in enumerate(atom.args)
             if is_constant(argument)
         )
-        support = self._support_memo.get(key)
+        support = self._rewritten_support_memo.get(key)
         if support is None:
-            support = index.support(atom)
-            self._support_memo[key] = support
+            variables = tuple(
+                dict.fromkeys(
+                    argument for argument in atom.args if is_variable(argument)
+                )
+            )
+            single = ConjunctiveQuery(variables, (atom,))
+            support = 0
+            full = index.full_mask
+            for disjunct in self._cache.rewriting(single).disjuncts:
+                disjunct_bound = full
+                for rewritten in disjunct.body:
+                    disjunct_bound &= index.support(rewritten)
+                    if not disjunct_bound:
+                        break
+                support |= disjunct_bound
+                if support == full:
+                    break
+            self._rewritten_support_memo[key] = support
         return support
 
     def __str__(self):
         return (
             f"PoolMatchKernel({self.columns}, bits={len(self._bits)}, "
             f"strategy={self._strategy!r})"
+        )
+
+
+class ProvenancePruner:
+    """Generator-level pruning oracle over per-atom provenance supports.
+
+    Wraps one labeling's :class:`PoolMatchKernel` and answers, for a
+    candidate *body* that has not been materialised into a query yet,
+    whether it could possibly produce a non-zero verdict row: the AND of
+    the body atoms' provenance supports
+    (:meth:`PoolMatchKernel.atom_provenance_support`) is a superset of
+    the true row, so a zero bound proves the row is zero *before* the
+    query is built, deduplicated, or handed to the verdict matrix.  The
+    bottom-up generator (:meth:`repro.core.candidates.CandidateGenerator.generate`)
+    and the top-down refinement search
+    (:class:`repro.core.refinement.RefinementSearch`) both accept one.
+
+    Soundness of *dropping* a zero-bound candidate is the caller's
+    responsibility: all zero-row candidates score identically, so
+    :meth:`repro.core.best_describe.BestDescriptionSearch.search` only
+    keeps a pruned pool when the exact k-th score is strictly above the
+    zero-row floor score (and regenerates exhaustively otherwise).
+    ``checked`` / ``pruned`` counters make the reduction reportable.
+    """
+
+    __slots__ = ("kernel", "columns", "selection", "checked", "pruned")
+
+    def __init__(self, kernel: PoolMatchKernel, columns, selection=None):
+        # ``selection`` maps local column bits to the kernel's bit space
+        # (needed when the kernel is a batch kernel's *global* kernel,
+        # whose columns are a merged superset of this layout's).  With a
+        # per-layout kernel the spaces coincide and it stays None.
+        self.kernel = kernel
+        self.columns = columns
+        self.selection = selection
+        self.checked = 0
+        self.pruned = 0
+
+    def body_bound(self, atoms: Iterable[Atom]) -> int:
+        """AND of the body atoms' supports — a superset of the true row.
+
+        Expressed in this layout's *local* bit space (sliced through
+        ``selection`` when the kernel's space is wider).
+        """
+        bound = self.kernel.index().full_mask
+        for atom in atoms:
+            bound &= self.kernel.atom_provenance_support(atom)
+            if not bound:
+                break
+        if self.selection is not None and bound:
+            local = 0
+            for bit, position in enumerate(self.selection):
+                local |= ((bound >> position) & 1) << bit
+            bound = local
+        return bound
+
+    def admits(self, atoms: Iterable[Atom]) -> bool:
+        """Whether the body could match *any* border column (counts traffic)."""
+        self.checked += 1
+        if self.body_bound(atoms):
+            return True
+        self.pruned += 1
+        return False
+
+    def admits_positive(self, atoms: Iterable[Atom]) -> bool:
+        """Whether the body could match any *positive* border column.
+
+        A ``False`` proves true-positive count zero — exactly the
+        condition the refinement search's ``prune_zero_coverage`` tests
+        by evaluating a full profile, so the beam search can discard the
+        refinement without ever J-matching it.
+        """
+        self.checked += 1
+        if self.body_bound(atoms) & self.columns.positives_mask:
+            return True
+        self.pruned += 1
+        return False
+
+    def __str__(self):
+        return (
+            f"ProvenancePruner(checked={self.checked}, pruned={self.pruned}, "
+            f"columns={self.columns})"
         )

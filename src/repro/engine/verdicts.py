@@ -198,15 +198,25 @@ class BitsetVerdictProfile(MatchStatistics):
         "_materialized",
     )
 
-    def __init__(self, row: int, columns: BorderColumns):
+    def __init__(
+        self,
+        row: int,
+        columns: BorderColumns,
+        counts: Optional[Tuple[int, int]] = None,
+    ):
         self.row = row
         self.columns = columns
         # The popcounts: every criterion evaluation reads these several
-        # times, so they are computed once up front (two bit_count calls)
-        # rather than per property access.
-        self.true_positives = (row & columns.positives_mask).bit_count()
+        # times, so they are computed once up front rather than per
+        # property access.  The batch kernel hands them in precomputed
+        # (one vectorized popcount pass covered the whole pool); only
+        # without them does the profile fall back to two bit_count calls.
+        if counts is None:
+            self.true_positives = (row & columns.positives_mask).bit_count()
+            self.false_positives = (row & columns.negatives_mask).bit_count()
+        else:
+            self.true_positives, self.false_positives = counts
         self.false_negatives = columns.positive_count - self.true_positives
-        self.false_positives = (row & columns.negatives_mask).bit_count()
         self.true_negatives = columns.negative_count - self.false_positives
         self._materialized: Optional[MatchProfile] = None
 
@@ -297,6 +307,12 @@ class VerdictMatrix:
         self.columns = columns
         self._cache = evaluator.system.specification.engine.cache
         self._kernel = None
+        self._batch = None
+        # Confusion counts precomputed by the batch kernel's vectorized
+        # popcount pass, keyed like the rows.  Private to this matrix
+        # (rows are content-addressed and shareable; the counts are just
+        # a local popcount shortcut and cheap to recompute).
+        self._counts: Dict[Tuple, Tuple[int, int]] = {}
         # Computing the layout key hashes whole borders; skip it when the
         # cache would hand back a private dict anyway.
         self._rows: Dict[Tuple, int] = (
@@ -342,6 +358,23 @@ class VerdictMatrix:
     def kernel_enabled(self) -> bool:
         return self.evaluator.system.specification.engine.kernel.enabled
 
+    @property
+    def batch_enabled(self) -> bool:
+        """Whether rows route through the bit-sliced batch kernel.
+
+        Requires the PR-5 kernel (the batch path is built on top of it),
+        the ``engine.kernel.batch`` policy switch, and numpy — without
+        any of the three the matrix transparently falls back to the
+        per-labeling kernel (or the legacy border loop).
+        """
+        if not self.kernel_enabled:
+            return False
+        if not self.evaluator.system.specification.engine.kernel.batch.enabled:
+            return False
+        from .batch_kernel import HAS_NUMPY
+
+        return HAS_NUMPY
+
     def _kernel_for(self):
         """The pool-level match kernel of this layout (built lazily)."""
         if self._kernel is None:
@@ -349,6 +382,37 @@ class VerdictMatrix:
 
             self._kernel = PoolMatchKernel(self.evaluator, self.columns)
         return self._kernel
+
+    def _batch_for(self):
+        """A single-layout batch kernel over this matrix's columns.
+
+        Persistent across ``build`` calls so its unified index and
+        subquery tables stay warm; lazy single rows (UCQ extensions,
+        bound probes) reuse the same kernel via bit slicing.
+        """
+        if self._batch is None:
+            from .batch_kernel import MultiLabelingBatchKernel
+
+            self._batch = MultiLabelingBatchKernel(self.evaluator, [self.columns])
+        return self._batch
+
+    def pruner(self):
+        """A generator-level :class:`~repro.engine.kernel.ProvenancePruner`.
+
+        Wired to whichever kernel this matrix routes rows through, with
+        the selection vector needed to express global provenance bounds
+        in this layout's local bit space.  ``None`` off the kernel path.
+        """
+        if not self.kernel_enabled:
+            return None
+        from .kernel import ProvenancePruner
+
+        if self.batch_enabled:
+            batch = self._batch_for()
+            return ProvenancePruner(
+                batch.kernel, self.columns, selection=batch.selection_for(0)
+            )
+        return ProvenancePruner(self._kernel_for(), self.columns)
 
     def row(self, query: OntologyQuery) -> int:
         """The verdict bitset of one query (computed at most once)."""
@@ -375,6 +439,8 @@ class VerdictMatrix:
                 union_row |= self.row(disjunct)
             return union_row
         self._cache.stats.count("verdict_row_misses")
+        if self.batch_enabled:
+            return self._batch_for().row_for(0, query)
         if self.kernel_enabled:
             return self._kernel_for().row(query)
         row = 0
@@ -393,16 +459,14 @@ class VerdictMatrix:
         row = self._rows.get(query_key(query))
         if row is not None:
             return row
+        if self.batch_enabled:
+            return self._batch_for().upper_bound_for(0, query)
         return self._kernel_for().upper_bound_row(query)
 
-    def build(self, candidates: Iterable[OntologyQuery]) -> None:
-        """Fill rows for a whole pool in one pass over the border ABoxes.
-
-        Borders run in the outer loop so each border's retrieved ABox
-        (and chase saturation) is computed once and consulted for every
-        pending candidate while hot; UCQs are reduced to their CQ
-        disjuncts first and OR-combined afterwards.
-        """
+    def _pending_for(
+        self, candidates: Iterable[OntologyQuery]
+    ) -> Tuple[List[ConjunctiveQuery], List[Tuple], List[UnionOfConjunctiveQueries]]:
+        """The deduplicated rowless CQs (and deferred UCQs) of a pool."""
         pending_cqs: List[ConjunctiveQuery] = []
         pending_keys: List[Tuple] = []
         deferred_unions: List[UnionOfConjunctiveQueries] = []
@@ -425,22 +489,91 @@ class VerdictMatrix:
                         enqueue_cq(disjunct)
             else:
                 enqueue_cq(candidate)
+        return pending_cqs, pending_keys, deferred_unions
+
+    def _store(self, key: Tuple, row: int, counts=None) -> None:
+        self._cache.stats.count("verdict_row_misses")
+        self._rows[key] = row
+        if counts is not None:
+            self._counts[key] = counts
+
+    def build(self, candidates: Iterable[OntologyQuery]) -> None:
+        """Fill rows for a whole pool in one pass over the border ABoxes.
+
+        Borders run in the outer loop so each border's retrieved ABox
+        (and chase saturation) is computed once and consulted for every
+        pending candidate while hot; UCQs are reduced to their CQ
+        disjuncts first and OR-combined afterwards.  On the batch path
+        the pool goes through the bit-sliced kernel as one slab, which
+        also hands back vectorized δ-counts for every row.
+        """
+        pending_cqs, pending_keys, deferred_unions = self._pending_for(candidates)
 
         if pending_cqs:
-            if self.kernel_enabled:
-                partial = self._kernel_for().rows(pending_cqs)
+            if self.batch_enabled:
+                [layout_rows] = self._batch_for().rows_for([pending_cqs])
+                for key, row, counts in zip(
+                    pending_keys, layout_rows.rows, layout_rows.counts
+                ):
+                    self._store(key, row, counts)
             else:
-                partial = [0] * len(pending_cqs)
-                for bit, border in enumerate(self.columns.borders):
-                    for index, cq in enumerate(pending_cqs):
-                        if self.evaluator.matches_border(cq, border):
-                            partial[index] |= 1 << bit
-            for key, row in zip(pending_keys, partial):
-                self._cache.stats.count("verdict_row_misses")
-                self._rows[key] = row
+                if self.kernel_enabled:
+                    partial = self._kernel_for().rows(pending_cqs)
+                else:
+                    partial = [0] * len(pending_cqs)
+                    for bit, border in enumerate(self.columns.borders):
+                        for index, cq in enumerate(pending_cqs):
+                            if self.evaluator.matches_border(cq, border):
+                                partial[index] |= 1 << bit
+                for key, row in zip(pending_keys, partial):
+                    self._store(key, row)
 
         for union in deferred_unions:
             self.row(union)
+
+    @staticmethod
+    def build_batch(matrices: Sequence["VerdictMatrix"], pools: Sequence) -> bool:
+        """Fill many matrices' rows with **one** batch-kernel dispatch.
+
+        ``matrices[i]`` gets rows for ``pools[i]``.  All matrices must
+        share one OBDM system (one database, one set of border ABoxes);
+        their column layouts are merged into a single
+        :class:`~repro.engine.batch_kernel.MultiLabelingBatchKernel`, so
+        borders shared between labelings are enumerated once for the
+        whole batch.  Returns ``True`` when the batch path ran, ``False``
+        after falling back to per-matrix :meth:`build` calls (batch
+        policy off, numpy missing, or heterogeneous systems) — callers
+        get filled matrices either way.
+        """
+        matrices = list(matrices)
+        pools = [list(pool) for pool in pools]
+        if len(matrices) != len(pools):
+            raise ExplanationError(
+                f"build_batch got {len(pools)} pools for {len(matrices)} matrices"
+            )
+        if not matrices:
+            return False
+        first = matrices[0]
+        batchable = first.batch_enabled and all(
+            matrix.evaluator.system is first.evaluator.system for matrix in matrices
+        )
+        if not batchable or len(matrices) == 1:
+            for matrix, pool in zip(matrices, pools):
+                matrix.build(pool)
+            return batchable and bool(matrices)
+        from .batch_kernel import MultiLabelingBatchKernel
+
+        pending = [matrix._pending_for(pool) for matrix, pool in zip(matrices, pools)]
+        batch = MultiLabelingBatchKernel(
+            first.evaluator, [matrix.columns for matrix in matrices]
+        )
+        per_layout = batch.rows_for([cqs for cqs, _, _ in pending])
+        for matrix, (_, keys, unions), layout_rows in zip(matrices, pending, per_layout):
+            for key, row, counts in zip(keys, layout_rows.rows, layout_rows.counts):
+                matrix._store(key, row, counts)
+            for union in unions:
+                matrix.row(union)
+        return True
 
     # -- incremental maintenance ------------------------------------------
 
@@ -565,7 +698,10 @@ class VerdictMatrix:
 
     def profile(self, query: OntologyQuery) -> BitsetVerdictProfile:
         """The (popcount-backed) match profile of one query."""
-        return BitsetVerdictProfile(self.row(query), self.columns)
+        row = self.row(query)
+        return BitsetVerdictProfile(
+            row, self.columns, counts=self._counts.get(query_key(query))
+        )
 
     def matched_positives(self, query: OntologyQuery) -> int:
         return (self.row(query) & self.columns.positives_mask).bit_count()

@@ -26,6 +26,7 @@ from .scalability import (
     run_border_scalability,
     run_search_scalability,
 )
+from .batch_kernel_exp import run_batch_labelings
 from .kernel_exp import run_match_kernel
 from .service_exp import run_service_warm
 from .tables import ExperimentResult
@@ -45,6 +46,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "E10": run_bitset_criteria,
     "E11": run_service_warm,
     "E12": run_match_kernel,
+    "E13": lambda: run_batch_labelings(applicants=24, candidate_pool=20, labeled_per_side=8, labelings=4, rounds=2),
 }
 
 

@@ -98,6 +98,26 @@ def probe_labeling(system: OBDMSystem) -> Labeling:
     return Labeling(positives=constants[:3], negatives=constants[3:6], name="probe")
 
 
+def probe_labelings(system: OBDMSystem, count: int = 2) -> List[Labeling]:
+    """*count* overlapping labelings (shifted six-constant windows).
+
+    Window ``i`` starts at constant ``i``, so consecutive labelings
+    share five of their six tuples — the shape that makes the
+    multi-labeling batch kernel's shared-border merging observable
+    (E13 and the batch differential suite both probe with these).
+    """
+    constants = sorted(system.domain(), key=repr)
+    labelings = []
+    for index in range(count):
+        window = constants[index : index + 6]
+        if len(window) < 6:
+            break
+        labelings.append(
+            Labeling(positives=window[:3], negatives=window[3:6], name=f"probe{index}")
+        )
+    return labelings
+
+
 def probe_pool(system: OBDMSystem) -> List:
     """Concept/role CQs, a two-atom join and a UCQ, per domain."""
     ontology = system.ontology

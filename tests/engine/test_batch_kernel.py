@@ -1,0 +1,393 @@
+"""Differential suite for the bit-sliced multi-labeling batch kernel.
+
+Pins three contracts of :mod:`repro.engine.batch_kernel`:
+
+* **bit-exactness** — packing Python-int bitset rows into uint64 word
+  matrices, slicing layouts out of global rows and counting δ-masks with
+  vectorized popcounts reproduces ``int.bit_count`` arithmetic bit for
+  bit;
+* **batch = per-labeling = legacy** — rankings served through one
+  multi-layout batch dispatch are byte-identical to the PR-5
+  per-labeling kernel and to the per-pair legacy path, across all four
+  domain ontologies × {thread, process} executors;
+* **generator pruning is invisible** — provenance-bound pruning during
+  candidate generation/refinement never changes a top-k ranking, and
+  the bottom-up cutoff accounting (truncated / unexplored_seeds /
+  exhausted) is deterministic and honest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.best_describe import BestDescriptionSearch
+from repro.core.candidates import CandidateConfig, CandidateGenerator
+from repro.core.explainer import OntologyExplainer
+from repro.core.matching import MatchEvaluator
+from repro.engine import batch_kernel
+from repro.engine.batch_kernel import (
+    HAS_NUMPY,
+    MultiLabelingBatchKernel,
+    batch_available,
+    masked_popcounts,
+    pack_bit_matrix,
+    pack_rows,
+    unpack_bits,
+)
+from repro.engine.verdicts import BorderColumns, VerdictMatrix
+from repro.errors import ExplanationError
+from repro.experiments.kernel_exp import (
+    PROBE_DOMAINS,
+    build_probe_system,
+    probe_labeling,
+    probe_labelings,
+    probe_pool,
+)
+
+pytestmark = [
+    pytest.mark.kernel,
+    pytest.mark.skipif(not HAS_NUMPY, reason="bit slicing needs numpy"),
+]
+
+DOMAINS = PROBE_DOMAINS
+
+
+# -- bit arithmetic -----------------------------------------------------------
+
+
+ROWS = [0, 1, (1 << 63) | 1, (1 << 64) - 1, (1 << 100) + (1 << 64) + 5, 1 << 129]
+
+
+class TestBitSlicing:
+    def test_pack_unpack_round_trip(self):
+        width = 130
+        words = pack_rows(ROWS, width)
+        assert words.shape == (len(ROWS), 3)
+        bits = unpack_bits(words, width)
+        _, ints = pack_bit_matrix(bits)
+        assert ints == ROWS
+
+    def test_unpacked_bits_match_int_bits(self):
+        width = 130
+        bits = unpack_bits(pack_rows(ROWS, width), width)
+        for position, row in enumerate(ROWS):
+            for bit in range(width):
+                assert int(bits[position, bit]) == (row >> bit) & 1
+
+    def test_masked_popcounts_match_bit_count(self):
+        width = 130
+        words = pack_rows(ROWS, width)
+        for mask in (0, 5, (1 << 64) | 3, (1 << width) - 1):
+            counts = masked_popcounts(words, mask, width)
+            assert [int(count) for count in counts] == [
+                (row & mask).bit_count() for row in ROWS
+            ]
+
+    def test_zero_width_matrix(self):
+        words = pack_rows([0, 0], 0)
+        bits = unpack_bits(words, 0)
+        assert bits.shape == (2, 0)
+        _, ints = pack_bit_matrix(bits)
+        assert ints == [0, 0]
+
+    def test_numpy_gate_raises_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(batch_kernel, "HAS_NUMPY", False)
+        assert batch_available() is False
+        with pytest.raises(ExplanationError):
+            pack_rows([1], 4)
+
+
+# -- batch kernel rows vs per-labeling kernel ---------------------------------
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+def test_single_layout_rows_equal_kernel_rows(domain):
+    """A one-layout batch emits exactly the PR-5 kernel's rows."""
+    system = build_probe_system(domain, kernel=True)
+    labeling = probe_labeling(system)
+    evaluator = MatchEvaluator(system, radius=1)
+    columns = BorderColumns.from_labeling(evaluator, labeling)
+    batch = MultiLabelingBatchKernel(evaluator, [columns])
+    pool = probe_pool(system)
+    [layout_rows] = batch.rows_for([pool])
+    reference = VerdictMatrix(evaluator, columns)
+    reference.build(pool)
+    for query, row, counts in zip(pool, layout_rows.rows, layout_rows.counts):
+        assert row == reference.row(query)
+        assert counts == (
+            (row & columns.positives_mask).bit_count(),
+            (row & columns.negatives_mask).bit_count(),
+        )
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+def test_multi_layout_rows_equal_per_labeling_builds(domain):
+    """Overlapping layouts sliced from one dispatch match separate builds."""
+    system = build_probe_system(domain, kernel=True)
+    labelings = probe_labelings(system, count=3)
+    evaluator = MatchEvaluator(system, radius=1)
+    layouts = [BorderColumns.from_labeling(evaluator, lab) for lab in labelings]
+    batch = MultiLabelingBatchKernel(evaluator, layouts)
+    assert batch.shared_columns() > 0, (
+        f"{domain}: shifted-window labelings should share borders"
+    )
+    pool = probe_pool(system)
+    results = batch.rows_for([pool] * len(layouts))
+    for columns, layout_rows in zip(layouts, results):
+        reference = VerdictMatrix(
+            MatchEvaluator(build_probe_system(domain, kernel=True), radius=1), columns
+        )
+        reference.build(pool)
+        assert layout_rows.rows == [reference.row(query) for query in pool]
+
+
+def test_per_layout_pools_may_differ():
+    system = build_probe_system("university", kernel=True)
+    labelings = probe_labelings(system, count=2)
+    evaluator = MatchEvaluator(system, radius=1)
+    layouts = [BorderColumns.from_labeling(evaluator, lab) for lab in labelings]
+    batch = MultiLabelingBatchKernel(evaluator, layouts)
+    pool = probe_pool(system)
+    first, second = batch.rows_for([pool[:2], pool[2:]])
+    assert len(first.rows) == 2
+    assert len(second.rows) == len(pool) - 2
+    assert first.rows == [batch.row_for(0, query) for query in pool[:2]]
+    assert second.rows == [batch.row_for(1, query) for query in pool[2:]]
+
+
+def test_pool_count_mismatch_rejected():
+    system = build_probe_system("university", kernel=True)
+    evaluator = MatchEvaluator(system, radius=1)
+    columns = BorderColumns.from_labeling(evaluator, probe_labeling(system))
+    batch = MultiLabelingBatchKernel(evaluator, [columns])
+    with pytest.raises(ExplanationError):
+        batch.rows_for([[], []])
+
+
+def test_upper_bound_for_is_superset_of_row():
+    system = build_probe_system("loans", kernel=True)
+    evaluator = MatchEvaluator(system, radius=1)
+    columns = BorderColumns.from_labeling(evaluator, probe_labeling(system))
+    batch = MultiLabelingBatchKernel(evaluator, [columns])
+    for query in probe_pool(system):
+        row = batch.row_for(0, query)
+        bound = batch.upper_bound_for(0, query)
+        assert row & bound == row
+
+
+def test_batch_dispatch_counters():
+    system = build_probe_system("university", kernel=True)
+    evaluator = MatchEvaluator(system, radius=1)
+    columns = BorderColumns.from_labeling(evaluator, probe_labeling(system))
+    batch = MultiLabelingBatchKernel(evaluator, [columns])
+    pool = probe_pool(system)
+    stats = system.specification.engine.cache.stats
+    before = stats.as_dict()
+    batch.rows_for([pool])
+    delta = stats.delta_since(before)
+    assert delta.get("batch_dispatches") == 1
+    assert delta.get("batch_rows") == len(pool)
+
+
+# -- end-to-end differential: batch = kernel = legacy -------------------------
+
+
+def _reference_reports(domain):
+    system = build_probe_system(domain, kernel=False)
+    pool = probe_pool(system)
+    return [
+        OntologyExplainer(system).explain(labeling, candidates=pool, top_k=None)
+        for labeling in probe_labelings(system, count=2)
+    ]
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+def test_batched_explain_identical_to_legacy_thread(domain):
+    """Thread-path explain_batch (one bit-sliced dispatch) vs legacy."""
+    references = _reference_reports(domain)
+    system = build_probe_system(domain, kernel=True)
+    reports = OntologyExplainer(system).explain_batch(
+        probe_labelings(system, count=2),
+        candidates=probe_pool(system),
+        executor="thread",
+        max_workers=2,
+        top_k=None,
+    )
+    for report, reference in zip(reports, references):
+        assert report.render(top_k=None) == reference.render(top_k=None), (
+            f"{domain}: batched thread report diverged from the legacy path"
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("domain", DOMAINS)
+def test_batched_explain_identical_to_legacy_process(domain):
+    """Process-sharded explain_batch (workers use the batch path) vs legacy."""
+    references = _reference_reports(domain)
+    system = build_probe_system(domain, kernel=True)
+    reports = OntologyExplainer(system).explain_batch(
+        probe_labelings(system, count=2),
+        candidates=probe_pool(system),
+        executor="process",
+        max_workers=2,
+        top_k=None,
+    )
+    for report, reference in zip(reports, references):
+        assert report.render(top_k=None) == reference.render(top_k=None), (
+            f"{domain}: batched process report diverged from the legacy path"
+        )
+
+
+@pytest.mark.parametrize("domain", ("university", "loans"))
+def test_batch_policy_off_still_identical(domain):
+    """kernel.batch.enabled=False serves through the PR-5 path, same output."""
+    references = _reference_reports(domain)
+    system = build_probe_system(domain, kernel=True)
+    system.specification.engine.kernel.batch.enabled = False
+    reports = OntologyExplainer(system).explain_batch(
+        probe_labelings(system, count=2),
+        candidates=probe_pool(system),
+        executor="thread",
+        max_workers=2,
+        top_k=None,
+    )
+    for report, reference in zip(reports, references):
+        assert report.render(top_k=None) == reference.render(top_k=None)
+
+
+def test_numpy_unavailable_falls_back(monkeypatch):
+    """Without numpy the batch flag is inert: kernel path, same rows."""
+    import repro.engine.verdicts as verdicts_module
+
+    system = build_probe_system("university", kernel=True)
+    labeling = probe_labeling(system)
+    pool = probe_pool(system)
+    evaluator = MatchEvaluator(system, radius=1)
+    columns = BorderColumns.from_labeling(evaluator, labeling)
+    reference = VerdictMatrix(evaluator, columns)
+    reference.build(pool)
+    monkeypatch.setattr(batch_kernel, "HAS_NUMPY", False)
+    fallback_system = build_probe_system("university", kernel=True)
+    fallback_evaluator = MatchEvaluator(fallback_system, radius=1)
+    fallback_columns = BorderColumns.from_labeling(fallback_evaluator, labeling)
+    matrix = VerdictMatrix(fallback_evaluator, fallback_columns)
+    assert matrix.batch_enabled is False
+    matrix.build(pool)
+    assert [matrix.row(query) for query in pool] == [
+        reference.row(query) for query in pool
+    ]
+
+
+# -- generator-level provenance pruning ---------------------------------------
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+@pytest.mark.parametrize("strategy", ("enumerate", "refine", "both"))
+def test_pruned_search_equals_exhaustive_top_k(domain, strategy):
+    """search(top_k=...) with generator pruning == the exhaustive prefix."""
+    system = build_probe_system(domain, kernel=True)
+    search = BestDescriptionSearch(system, probe_labeling(system))
+    config = CandidateConfig(max_atoms=2, max_candidates=400)
+    pruned = search.search(strategy=strategy, candidate_config=config, top_k=5)
+    exhaustive_search = BestDescriptionSearch(
+        build_probe_system(domain, kernel=True), probe_labeling(system)
+    )
+    exhaustive = exhaustive_search.search(strategy=strategy, candidate_config=config)[:5]
+    assert [(str(entry.query), entry.score) for entry in pruned] == [
+        (str(entry.query), entry.score) for entry in exhaustive
+    ], f"{domain}/{strategy}: pruned top-k diverged from the exhaustive prefix"
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+def test_refinement_pruner_fires_and_is_invisible(domain):
+    """The refinement lattice is where zero-support bodies actually arise."""
+    system = build_probe_system(domain, kernel=True)
+    search = BestDescriptionSearch(system, probe_labeling(system))
+    exhaustive = search.candidate_pool("refine")
+    pruner = search.scorer.verdict_matrix().pruner()
+    pruned_pool = search.candidate_pool("refine", pruner=pruner)
+    assert pruner.checked > 0
+    assert pruner.pruned > 0, (
+        f"{domain}: the refinement beam never hit a zero provenance bound"
+    )
+    ranked = search.rank(exhaustive)[:5]
+    ranked_pruned = search.rank(pruned_pool)[:5]
+    assert [(str(entry.query), entry.score) for entry in ranked] == [
+        (str(entry.query), entry.score) for entry in ranked_pruned
+    ]
+
+
+def test_pruner_selection_slices_global_bounds():
+    """A batch-path pruner (global index + selection) agrees with PR-5's."""
+    system = build_probe_system("loans", kernel=True)
+    labelings = probe_labelings(system, count=2)
+    evaluator = MatchEvaluator(system, radius=1)
+    layouts = [BorderColumns.from_labeling(evaluator, lab) for lab in labelings]
+    batch = MultiLabelingBatchKernel(evaluator, layouts)
+    from repro.engine.kernel import PoolMatchKernel, ProvenancePruner
+
+    for index, columns in enumerate(layouts):
+        sliced = ProvenancePruner(
+            batch.kernel, columns, selection=batch.selection_for(index)
+        )
+        local = ProvenancePruner(PoolMatchKernel(evaluator, columns), columns)
+        for query in probe_pool(system):
+            assert sliced.body_bound(query.body if hasattr(query, "body") else ()) == (
+                local.body_bound(query.body if hasattr(query, "body") else ())
+            )
+
+
+def test_support_memoization_counts_hits():
+    system = build_probe_system("university", kernel=True)
+    evaluator = MatchEvaluator(system, radius=1)
+    columns = BorderColumns.from_labeling(evaluator, probe_labeling(system))
+    from repro.engine.kernel import PoolMatchKernel
+
+    kernel = PoolMatchKernel(evaluator, columns)
+    [atom] = probe_pool(system)[0].body
+    stats = system.specification.engine.cache.stats
+    before = stats.as_dict()
+    first = kernel.index().support(atom)
+    second = kernel.index().support(atom)
+    assert first == second
+    delta = stats.delta_since(before)
+    assert delta.get("support_misses") == 1
+    assert delta.get("support_hits") == 1
+
+
+# -- bottom-up cutoff accounting ----------------------------------------------
+
+
+class TestCutoffAccounting:
+    def _generator(self, system, max_candidates):
+        return CandidateGenerator(
+            system,
+            radius=1,
+            config=CandidateConfig(max_atoms=2, max_candidates=max_candidates),
+        )
+
+    def test_truncation_is_deterministic_and_a_prefix(self):
+        system = build_probe_system("university", kernel=True)
+        labeling = probe_labeling(system)
+        full = self._generator(system, 10_000).generate(labeling)
+        assert full.exhausted
+        assert full.generated == len(full)
+        assert full.truncated == 0 and full.unexplored_seeds == 0
+        cap = max(2, len(full) // 2)
+        truncated = self._generator(system, cap).generate(labeling)
+        assert len(truncated) == cap
+        assert [str(q) for q in truncated] == [str(q) for q in full[:cap]]
+        assert not truncated.exhausted
+        assert truncated.truncated + truncated.unexplored_seeds > 0
+        again = self._generator(system, cap).generate(labeling)
+        assert [str(q) for q in again] == [str(q) for q in truncated]
+
+    def test_search_pool_surfaces_accounting(self):
+        system = build_probe_system("university", kernel=True)
+        search = BestDescriptionSearch(system, probe_labeling(system))
+        pool = search.candidate_pool(
+            "enumerate", CandidateConfig(max_atoms=2, max_candidates=5)
+        )
+        assert len(pool) <= 5
+        assert pool.generated >= len(pool)
+        assert not pool.exhausted

@@ -141,11 +141,32 @@ class TestBitsetCriteriaExperiment:
         assert criteria_row["legacy_seconds"] >= 0 and criteria_row["bitset_seconds"] >= 0
 
 
+class TestBatchLabelingsExperiment:
+    def test_e13_batch_labelings_small(self):
+        from repro.experiments.batch_kernel_exp import run_batch_labelings
+
+        result = run_batch_labelings(
+            applicants=12, candidate_pool=8, labeled_per_side=3, labelings=2, rounds=1
+        )
+        dispatch_row, identity_row, pruning_row = result.rows
+        assert dispatch_row["mode"] == "batch_dispatch"
+        assert dispatch_row["identical"] is True
+        assert identity_row["identical"] is True
+        assert identity_row["cells"] == 16
+        assert pruning_row["identical"] is True
+        assert pruning_row["pruned"] > 0
+        # No wall-clock assertion here: the perf gate lives in
+        # benchmarks/bench_batch_labelings.py where the workload is big
+        # enough for timing to be meaningful.
+        assert dispatch_row["legacy_seconds"] >= 0 and dispatch_row["batch_seconds"] >= 0
+
+
 class TestHarness:
     def test_registry_covers_design_index(self):
-        assert {"E1", "E2", "E3", "E4", "E5", "E6", "E7a", "E7b", "E8a", "E8b", "E9", "E10"} <= set(
-            EXPERIMENTS
-        )
+        assert {
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7a", "E7b",
+            "E8a", "E8b", "E9", "E10", "E11", "E12", "E13",
+        } <= set(EXPERIMENTS)
 
     def test_run_all_subset(self):
         results = run_all(only=("E1", "E3"))

@@ -330,6 +330,47 @@ class TestMatrixInjectionValidation:
             )
 
 
+class TestWarmStart:
+    def test_warm_start_prebuilds_the_fleet(self, service, labeling):
+        shifted = _drifted(labeling, name="probe-b")
+        counts = service.warm_start([labeling, shifted])
+        assert counts["labelings"] == 2
+        assert counts["cold"] == 2
+        assert counts["rows"] > 0
+        stats_before = service.cache_stats.as_dict()
+        report = service.explain(labeling)
+        drifted_report = service.explain(shifted)
+        delta = service.cache_stats.delta_since(stats_before)
+        assert delta.get("verdict_row_misses", 0) == 0, (
+            "warm-started sessions should serve explain() without building rows"
+        )
+        assert service.stats.as_dict()["warm_hits"] == 2
+        assert report.render() == _reference_report(labeling).render()
+        assert drifted_report.render() == _reference_report(shifted).render()
+
+    def test_second_warm_start_is_idempotent(self, service, labeling):
+        first = service.warm_start([labeling])
+        second = service.warm_start([labeling])
+        assert first["cold"] == 1 and second["warm"] == 1
+        assert second["rows"] == 0
+
+    def test_shared_candidates_warm_the_matrix(self, service, labeling):
+        counts = service.warm_start(
+            [labeling],
+            candidates=["q1(x) :- likes(x, y)", "q2(x) :- studies(x, 'Math')"],
+        )
+        assert counts["rows"] == 2
+
+    def test_warm_start_without_matrices_is_a_noop(self, labeling):
+        system = build_university_system()
+        system.specification.engine.verdicts.enabled = False
+        service = ExplanationService(system)
+        counts = service.warm_start([labeling])
+        assert counts["cold"] == 1
+        assert counts["rows"] == 0 and counts["batched"] == 0
+        assert service.explain(labeling).render() == _reference_report(labeling).render()
+
+
 class TestExplainerIntegration:
     def test_explainer_service_shares_the_system(self, labeling):
         explainer = OntologyExplainer(build_university_system())
