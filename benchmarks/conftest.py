@@ -10,6 +10,7 @@ from __future__ import annotations
 import datetime
 import json
 import os
+import sys
 from pathlib import Path
 
 import pytest
@@ -71,6 +72,35 @@ def bench_profile() -> str:
     return profile
 
 
+def _peak_rss_bytes():
+    """Peak resident set size of this process, in bytes (``None`` unknown).
+
+    ``ru_maxrss`` is reported in kilobytes on Linux and in bytes on
+    macOS; normalise to bytes so trajectory files compare across
+    machines.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if usage <= 0:
+        return None
+    return usage if sys.platform == "darwin" else usage * 1024
+
+
+def _current_rss_bytes():
+    """Current resident set size via psutil, when available."""
+    try:
+        import psutil
+    except ImportError:
+        return None
+    try:
+        return psutil.Process().memory_info().rss
+    except Exception:
+        return None
+
+
 @pytest.fixture(scope="session")
 def bench_trajectory(bench_profile):
     """Recorder that persists each gate's outcome across runs.
@@ -80,7 +110,11 @@ def bench_trajectory(bench_profile):
     extra metrics — to ``benchmarks/trajectories/BENCH_match_kernel.json``.
     The files accumulate a per-machine performance trajectory (they are
     git-ignored), so a gate that starts drifting toward its threshold is
-    visible *before* it fails.
+    visible *before* it fails.  Every record also samples the process's
+    memory high-water mark (``peak_rss_bytes``, via
+    ``resource.getrusage``; ``current_rss_bytes`` additionally when
+    psutil is installed), so memory regressions leave the same paper
+    trail as timing regressions.
     """
 
     def record(gate: str, speedup=None, **metrics):
@@ -101,6 +135,8 @@ def bench_trajectory(bench_profile):
             "gate": gate,
             "profile": bench_profile,
             "speedup": speedup,
+            "peak_rss_bytes": _peak_rss_bytes(),
+            "current_rss_bytes": _current_rss_bytes(),
         }
         entry.update(metrics)
         runs.append(entry)

@@ -189,6 +189,44 @@ class BorderComputer:
             result[key] = self.border(key, radius)
         return result
 
+    # -- database drift ------------------------------------------------------
+
+    def apply_delta(self, delta) -> FrozenSet[Border]:
+        """Drop cached borders a database delta can touch; returns them.
+
+        A border ``B_{t,r}(D)`` is a BFS closure over constant-sharing,
+        so a delta can only change it when some added/removed fact
+        shares a constant with the border's *reach* — the tuple's
+        constants plus every constant already in the border.  (A removed
+        fact inside the border mentions border constants by definition;
+        an added fact attaches to the BFS only through a constant the
+        closure already visits, at worst a tuple constant of an
+        otherwise-empty border.)  The test is a sound over-approximation
+        of the exact per-layer criterion: a false positive merely
+        recomputes a border that turns out content-identical, which the
+        verdict layer then detects as an unchanged column.
+
+        Untouched borders stay cached and warm; touched ones are
+        evicted and returned so
+        :meth:`~repro.engine.cache.EvaluationCache.invalidate_borders`
+        can drop every downstream entry built over them.  The caller is
+        expected to have applied (or be about to apply) the delta to
+        ``self.database`` — this method only manages the cache.
+        """
+        constants = delta.constants()
+        if not constants:
+            return frozenset()
+        touched = []
+        for _key, border in self._cache.items():
+            reach = set(border.tuple)
+            reach.update(border.constants())
+            if not constants.isdisjoint(reach):
+                touched.append(border)
+        if touched:
+            doomed = frozenset(touched)
+            self._cache.discard_where(lambda _key, border: border in doomed)
+        return frozenset(touched)
+
     # -- analysis helpers ----------------------------------------------------------
 
     def saturation_radius(self, raw: RawTuple, limit: int = 64) -> int:

@@ -113,6 +113,40 @@ components:
     ``benchmarks/bench_batch_labelings.py`` gates a ≥3× batch-dispatch
     speedup.
 
+**Fact-level database drift** (:class:`~repro.engine.cache.DeltaPolicy`)
+    The maintenance path that keeps all of the above warm while the
+    *source database* changes under serving.  A
+    :class:`~repro.obdm.database.DatabaseDelta` (added/removed facts)
+    is applied in place by ``SourceDatabase.apply_delta`` — which also
+    maintains an order-independent XOR content fingerprint — and then
+    propagates incrementally layer by layer:
+    :meth:`~repro.core.border.BorderComputer.apply_delta` evicts only
+    the cached borders whose constant reach the delta intersects;
+    :meth:`~repro.engine.cache.EvaluationCache.invalidate_borders`
+    drops exactly the memo entries built over those borders (border
+    ABoxes, their saturations, J-match verdicts, verdict layouts,
+    tabled subquery states — counted in
+    ``CacheStats.delta_invalidations``);
+    :meth:`~repro.engine.kernel.UnifiedBorderIndex.apply_patch`
+    appends/tombstones fact columns and fixes provenance bitsets in
+    place instead of rebuilding the merged index; and
+    :meth:`~repro.engine.verdicts.VerdictMatrix.apply_database_delta`
+    migrates surviving verdict bits by masking and re-evaluates only
+    the columns whose border content actually changed (one bit-sliced
+    batch dispatch when the batch kernel is enabled).
+    :meth:`~repro.service.ExplanationService.apply_delta` drives the
+    whole pipeline for every live session, and service snapshots are
+    stamped with the database fingerprint so a post-drift ``load()``
+    is refused.  **Toggle:** ``specification.engine.delta.enabled``
+    (:class:`~repro.engine.cache.DeltaPolicy`), same policy style as
+    the other layers; disabling it reproduces the legacy cold path
+    (full cache clear + session reset per delta) exactly.  The
+    differential suite (``tests/engine/test_database_delta.py``) pins
+    incremental rankings byte-identical to cold rebuilds under random
+    delta streams across all four domains × {thread, process}, and
+    ``benchmarks/bench_database_drift.py`` gates a ≥3× update-vs-cold
+    speedup on a streaming-updates workload.
+
 :class:`~repro.engine.batch.BatchExplainer`
     Concurrent batch scoring of candidate pools across one or many
     labelings via :mod:`concurrent.futures`, with deterministic result
@@ -154,9 +188,8 @@ legacy per-pair path (toggle via ``VerdictPolicy.enabled``); both
 assert byte-identical rankings.
 
 Next scaling steps this substrate unlocks (see ROADMAP.md): async
-serving of explanation requests with a warm shared cache, fact-level
-database drift with incremental index maintenance, and out-of-core
-(SQL-pushdown) backends for beyond-RAM ABoxes.
+serving of explanation requests with a warm shared cache, and
+out-of-core (SQL-pushdown) backends for beyond-RAM ABoxes.
 """
 
 from __future__ import annotations
@@ -165,6 +198,7 @@ from .cache import (
     BatchKernelPolicy,
     CacheLimits,
     CacheStats,
+    DeltaPolicy,
     EvaluationCache,
     KernelPolicy,
     LRUStore,
@@ -179,6 +213,7 @@ __all__ = [
     "BorderColumns",
     "CacheLimits",
     "CacheStats",
+    "DeltaPolicy",
     "EvaluationCache",
     "KernelPolicy",
     "LRUStore",

@@ -166,6 +166,39 @@ class BatchKernelPolicy:
         return f"BatchKernelPolicy(enabled={self.enabled})"
 
 
+class DeltaPolicy:
+    """Switch for the fact-level database delta path (database drift).
+
+    When ``enabled`` (the default), a
+    :class:`~repro.obdm.database.DatabaseDelta` applied through
+    :meth:`~repro.service.ExplanationService.apply_delta` propagates
+    *incrementally*: the border computer drops only the cached borders
+    the delta's constants can reach, :meth:`EvaluationCache.invalidate_borders`
+    evicts only the content-addressed entries whose provenance
+    intersects those touched borders (saturations, border ABoxes,
+    J-match verdicts, verdict-row layouts and tabled subquery states —
+    everything else stays warm), the
+    :class:`~repro.engine.kernel.UnifiedBorderIndex` is patched in
+    place (:meth:`~repro.engine.kernel.UnifiedBorderIndex.apply_patch`)
+    and live :class:`~repro.engine.verdicts.VerdictMatrix` sessions
+    migrate surviving columns and re-evaluate only the changed ones
+    (:meth:`~repro.engine.verdicts.VerdictMatrix.apply_database_delta`).
+    Disabling it restores the legacy behaviour — the full cache is
+    dropped and every session cold-rebuilds on its next request — which
+    ``tests/engine/test_database_delta.py`` pins as byte-identical to
+    the incremental path.  Every
+    :class:`~repro.obdm.certain_answers.CertainAnswerEngine` owns one
+    (``specification.engine.delta``), in the same style as
+    ``engine.verdicts`` / ``engine.kernel``.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+
+    def __str__(self):
+        return f"DeltaPolicy(enabled={self.enabled})"
+
+
 class CacheStats:
     """Hit/miss/eviction counters per memo layer (benchmark observability).
 
@@ -192,6 +225,7 @@ class CacheStats:
         "batch_dispatches",
         "batch_rows",
         "evictions",
+        "delta_invalidations",
     )
 
     def __init__(self):
@@ -402,6 +436,19 @@ class LRUStore:
             # insert) at capacity; only survivors count as added, so
             # callers are never told the cache is warmer than it is.
             return sum(1 for key in inserted if key in self._entries)
+
+    def discard_where(self, predicate: Callable[[Hashable, object], bool]) -> int:
+        """Drop every entry matching *predicate*; returns how many did.
+
+        The delta-invalidation primitive: unlike capacity eviction this
+        is *targeted* (entries whose provenance a database delta can
+        touch), so it does not count into ``evictions``.
+        """
+        with self._lock:
+            doomed = [key for key, value in self._entries.items() if predicate(key, value)]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
 
     def clear(self) -> None:
         with self._lock:
@@ -741,6 +788,85 @@ class EvaluationCache:
         return self._subqueries.get_or_create(index_key, dict)
 
     # -- maintenance ------------------------------------------------------
+
+    def invalidate_borders(self, touched, constants=frozenset()) -> Dict[str, int]:
+        """Evict entries whose provenance intersects the *touched* borders.
+
+        The delta-invalidation core of the database-drift path.  All
+        keys in this cache are content-addressed *values*, so entries
+        surviving a database mutation can never be stale — what this
+        drops is garbage that no future key will ever address again
+        (the old borders no longer exist), plus the memory it pins:
+
+        * **border ABoxes** keyed by a touched border's atom set;
+        * **saturations** of those ABoxes (their fact sets are collected
+          *before* the ABoxes are dropped) and of any cached ABox that
+          mentions a constant of the delta (covers the full-database
+          retrieval, whose next key differs anyway);
+        * **J-match verdicts** keyed by (query signature, touched border);
+        * **verdict-row layouts** whose column borders intersect the
+          touched set;
+        * **tabled subquery states** of any unified border index built
+          over a touched border.
+
+        *touched* is the border set returned by
+        :meth:`~repro.core.border.BorderComputer.apply_delta`;
+        *constants* the delta's constants.  Returns dropped entries per
+        layer; the total is counted into ``stats.delta_invalidations``.
+        """
+        touched = frozenset(touched)
+        constants = frozenset(constants)
+        touched_atom_sets = {border.atoms for border in touched}
+
+        def mentions_delta(facts) -> bool:
+            return any(
+                not constants.isdisjoint(atom.constants()) for atom in facts
+            )
+
+        stale_fact_sets = set()
+        for atoms in touched_atom_sets:
+            abox = self._border_aboxes.get(atoms, touch=False)
+            facts = getattr(abox, "facts", None)
+            if facts is not None:
+                stale_fact_sets.add(frozenset(facts))
+
+        def saturation_stale(key, _value) -> bool:
+            facts = key[0] if isinstance(key, tuple) else key
+            if not isinstance(facts, frozenset):
+                return False
+            return facts in stale_fact_sets or (constants and mentions_delta(facts))
+
+        def layout_touched(layout_key) -> bool:
+            # ("verdict_columns", positive_count, radius, borders)
+            if not (isinstance(layout_key, tuple) and len(layout_key) >= 4):
+                return False
+            borders = layout_key[3]
+            return isinstance(borders, tuple) and not touched.isdisjoint(borders)
+
+        dropped = {
+            "border_aboxes": self._border_aboxes.discard_where(
+                lambda key, _v: key in touched_atom_sets
+            ),
+            "saturations": self._saturated.discard_where(saturation_stale),
+            "matches": self._matches.discard_where(
+                lambda key, _v: isinstance(key, tuple)
+                and len(key) == 2
+                and key[1] in touched
+            ),
+            "verdict_layouts": self._verdict_rows.discard_where(
+                lambda key, _v: layout_touched(key)
+            ),
+            "subqueries": self._subqueries.discard_where(
+                # ("kernel_tables", columns_key, bits, strategy, depth)
+                lambda key, _v: isinstance(key, tuple)
+                and len(key) >= 2
+                and layout_touched(key[1])
+            ),
+        }
+        total = sum(dropped.values())
+        if total:
+            self.stats.merge({"delta_invalidations": total})
+        return dropped
 
     def clear(self) -> None:
         """Drop every memoized entry (counters are kept)."""

@@ -74,7 +74,14 @@ class UnifiedBorderIndex:
     keeps a provenance bitset of the columns it occurs in.
     """
 
-    __slots__ = ("full_mask", "_by_predicate", "_by_position", "_support_memo", "_stats")
+    __slots__ = (
+        "full_mask",
+        "_by_predicate",
+        "_by_position",
+        "_row_ids",
+        "_support_memo",
+        "_stats",
+    )
 
     def __init__(
         self, entries: Sequence[Tuple[int, FrozenSet[Atom]]], stats=None
@@ -89,9 +96,12 @@ class UnifiedBorderIndex:
         self.full_mask = full_mask
         # Columnar layout: per predicate, parallel argument-row and
         # provenance arrays; plus (predicate, position, constant) → row
-        # ids for narrowing atoms with bound arguments.
+        # ids for narrowing atoms with bound arguments, and (predicate →
+        # argument row → row id) so :meth:`apply_patch` can find the
+        # existing row of a re-added fact without scanning.
         by_predicate: Dict[str, Tuple[List[Tuple], List[int]]] = {}
         by_position: Dict[Tuple, List[int]] = {}
+        row_ids: Dict[str, Dict[Tuple, int]] = {}
         # Row order is irrelevant to results: rows are OR-accumulated per
         # binding, so any enumeration order yields the same bitsets.
         for fact, mask in provenance.items():
@@ -99,12 +109,14 @@ class UnifiedBorderIndex:
             row_id = len(args_rows)
             args_rows.append(fact.args)
             mask_rows.append(mask)
+            row_ids.setdefault(fact.predicate, {})[fact.args] = row_id
             for position, argument in enumerate(fact.args):
                 by_position.setdefault(
                     (fact.predicate, position, argument), []
                 ).append(row_id)
         self._by_predicate = by_predicate
         self._by_position = by_position
+        self._row_ids = row_ids
         # Support masks are memoized on the index itself: the index is
         # immutable, each atom's support is asked once per atom per query
         # (row bounds, generator pruning, upper bounds), and recomputing
@@ -167,6 +179,61 @@ class UnifiedBorderIndex:
         self._support_memo[key] = union
         return union
 
+    def apply_patch(
+        self, entries: Sequence[Tuple[int, FrozenSet[Atom]]]
+    ) -> FrozenSet[str]:
+        """Replace the fact columns of the given bits **in place**.
+
+        Database drift changes a few borders; rebuilding the whole
+        merged index would repay the merge for every unchanged border.
+        Instead each entry ``(bit, facts)`` swaps in the bit's new fact
+        set: the bit is first cleared from every row's provenance
+        (a row whose mask drops to zero becomes a **tombstone** — it
+        stays in the columnar arrays but can never contribute to a join
+        or a support mask, since survivors are computed by AND and
+        supports by OR), then set on the rows of the new facts —
+        **appending** fresh rows, with their ``(predicate, position,
+        constant)`` narrowing entries, for facts the index has never
+        held.  Memoized :meth:`support` entries whose predicate was
+        touched by the patch are dropped; every other memo stays warm.
+        Returns the touched predicates.
+        """
+        if not entries:
+            return frozenset()
+        clear_mask = 0
+        for bit, _facts in entries:
+            clear_mask |= 1 << bit
+        keep = ~clear_mask
+        touched_predicates = set()
+        for predicate, (_args_rows, mask_rows) in self._by_predicate.items():
+            for i, mask in enumerate(mask_rows):
+                if mask & clear_mask:
+                    mask_rows[i] = mask & keep
+                    touched_predicates.add(predicate)
+        for bit, facts in entries:
+            flag = 1 << bit
+            self.full_mask |= flag
+            for fact in facts:
+                touched_predicates.add(fact.predicate)
+                args_rows, mask_rows = self._by_predicate.setdefault(
+                    fact.predicate, ([], [])
+                )
+                rows = self._row_ids.setdefault(fact.predicate, {})
+                row_id = rows.get(fact.args)
+                if row_id is None:
+                    row_id = len(args_rows)
+                    args_rows.append(fact.args)
+                    mask_rows.append(0)
+                    rows[fact.args] = row_id
+                    for position, argument in enumerate(fact.args):
+                        self._by_position.setdefault(
+                            (fact.predicate, position, argument), []
+                        ).append(row_id)
+                mask_rows[row_id] |= flag
+        for key in [k for k in self._support_memo if k[0] in touched_predicates]:
+            del self._support_memo[key]
+        return frozenset(touched_predicates)
+
 
 class PoolMatchKernel:
     """One-pass verdict rows for a pool of candidates over merged borders.
@@ -199,29 +266,27 @@ class PoolMatchKernel:
 
     # -- index construction ------------------------------------------------
 
-    def _ensure_index(self) -> UnifiedBorderIndex:
-        if self._index is not None:
-            return self._index
-        entries: List[Tuple[int, FrozenSet[Atom]]] = []
+    def _border_facts(self, border) -> FrozenSet[Atom]:
+        """The strategy-appropriate fact set of one border's ABox."""
+        abox = self.evaluator._border_abox(border)
+        if self._strategy == "chase":
+            # Saturate per border (same memo key as the per-pair
+            # path); merging *saturations* keeps provenance exact —
+            # facts derived from two different borders never join
+            # into a spurious single-border homomorphism because
+            # their provenance AND is empty.
+            return self._engine.saturate(abox).facts
+        return abox.facts
+
+    def _register_columns(self) -> None:
         for bit in self._bits:
-            border = self.columns.borders[bit]
-            abox = self.evaluator._border_abox(border)
-            if self._strategy == "chase":
-                # Saturate per border (same memo key as the per-pair
-                # path); merging *saturations* keeps provenance exact —
-                # facts derived from two different borders never join
-                # into a spurious single-border homomorphism because
-                # their provenance AND is empty.
-                facts = self._engine.saturate(abox).facts
-            else:
-                facts = abox.facts
-            entries.append((bit, facts))
             value = self.columns.tuples[bit]
             arity = len(value)
             targets = self._target_bits.setdefault(arity, {})
             targets[value] = targets.get(value, 0) | (1 << bit)
             self._arity_masks[arity] = self._arity_masks.get(arity, 0) | (1 << bit)
-        self._index = UnifiedBorderIndex(entries, stats=self._cache.stats)
+
+    def _bind_tables(self) -> None:
         if self._cache.enabled:
             # Content-addressed identity of this index: the column layout
             # key embeds every border's tuple, radius and atom layers, so
@@ -238,7 +303,49 @@ class PoolMatchKernel:
                 self._engine.chase_depth if self._strategy == "chase" else None,
             )
             self._tables = self._cache.subquery_tables(index_key)
+
+    def _ensure_index(self) -> UnifiedBorderIndex:
+        if self._index is not None:
+            return self._index
+        entries: List[Tuple[int, FrozenSet[Atom]]] = [
+            (bit, self._border_facts(self.columns.borders[bit])) for bit in self._bits
+        ]
+        self._register_columns()
+        self._index = UnifiedBorderIndex(entries, stats=self._cache.stats)
+        self._bind_tables()
         return self._index
+
+    def patched(self, new_columns, changed_bits: Sequence[int]) -> "PoolMatchKernel":
+        """A kernel over *new_columns* reusing this kernel's index.
+
+        The database-drift successor path: *new_columns* must lay out
+        the same tuples at the same bit positions (only borders may
+        differ, at exactly *changed_bits*).  When this kernel has a
+        built full-width index, the changed bits' fact columns are
+        swapped in place via :meth:`UnifiedBorderIndex.apply_patch` and
+        the index is **adopted** by the successor — the merge work for
+        every unchanged border is never repaid.  This kernel detaches
+        from the index (its old borders no longer exist; serving them
+        would be stale) and the successor binds fresh tabled subquery
+        state under its own content-addressed key.  Without a built
+        index there is nothing to reuse and the successor builds lazily.
+        """
+        successor = PoolMatchKernel(self.evaluator, new_columns)
+        index = self._index
+        if index is None or len(self._bits) != self.columns.width:
+            return successor
+        self._index = None
+        self._tables = {}
+        index.apply_patch(
+            [
+                (bit, successor._border_facts(new_columns.borders[bit]))
+                for bit in changed_bits
+            ]
+        )
+        successor._register_columns()
+        successor._index = index
+        successor._bind_tables()
+        return successor
 
     # -- rows --------------------------------------------------------------
 

@@ -694,6 +694,133 @@ class VerdictMatrix:
             drifted._rows[key] = row
         return drifted
 
+    def apply_database_delta(self) -> "VerdictMatrix":
+        """A matrix over the *current* database content, reusing every
+        column whose border survived the drift.
+
+        The database-side dual of :meth:`apply_drift`: the labeling (and
+        hence the tuple order) is unchanged, but the underlying facts
+        moved, so each column's border is recomputed — untouched tuples
+        hit the border cache and come back content-identical, and only
+        the columns whose recomputed border actually *differs* are
+        re-evaluated.  Call it after the delta has been applied to the
+        database and routed through
+        :meth:`~repro.core.border.BorderComputer.apply_delta` (the
+        explanation service does both).
+
+        Surviving columns migrate by bit masking (the permutation is the
+        identity here — same tuples, same order); changed columns are
+        evaluated for every known query through a kernel restricted to
+        their bit positions — as one 2-D batch-matrix dispatch over the
+        changed columns when the batch path is on — or through the
+        legacy per-border loop, exactly as a cold rebuild would.  When
+        this matrix had built a unified index, the successor adopts it
+        via :meth:`~repro.engine.kernel.PoolMatchKernel.patched` instead
+        of re-merging the unchanged borders.  If no border changed the
+        matrix itself is returned (every row is still exact).  With
+        ``engine.delta.enabled`` off the result is a cold matrix over
+        the recomputed layout: no rows migrate, reproducing the legacy
+        rebuild-from-scratch behaviour.
+        """
+        old = self.columns
+        engine = self.evaluator.system.specification.engine
+        new_borders = [
+            self.evaluator.border_of(value, old.radius) for value in old.tuples
+        ]
+        if not engine.delta.enabled:
+            return VerdictMatrix(
+                self.evaluator,
+                BorderColumns(
+                    old.positive_tuples, old.negative_tuples, new_borders, old.radius
+                ),
+            )
+        changed_bits = [
+            bit
+            for bit, (previous, current) in enumerate(zip(old.borders, new_borders))
+            if previous != current
+        ]
+        if not changed_bits:
+            return self
+        new_columns = BorderColumns(
+            old.positive_tuples, old.negative_tuples, new_borders, old.radius
+        )
+        drifted = VerdictMatrix(self.evaluator, new_columns)
+        if self._kernel is not None and drifted.kernel_enabled:
+            # Reuse the already-merged unified index: only the changed
+            # bits' fact columns are swapped in place.
+            drifted._kernel = self._kernel.patched(new_columns, changed_bits)
+        keep_mask = ~sum(1 << bit for bit in changed_bits)
+        # Snapshot for the same concurrency reason as apply_drift.
+        pending: List[Tuple[Tuple, OntologyQuery, int]] = []
+        for key, query in list(self._known_queries.items()):
+            old_row = self._rows.get(key)
+            if old_row is None:
+                continue
+            drifted._known_queries[key] = query
+            if key in drifted._rows:
+                continue  # another scorer already filled the new layout
+            pending.append((key, query, old_row & keep_mask))
+        if pending:
+            fresh_rows = drifted._changed_column_rows(
+                [query for _, query, _ in pending], changed_bits
+            )
+            for (key, _query, migrated), fresh in zip(pending, fresh_rows):
+                drifted._rows[key] = migrated | fresh
+        return drifted
+
+    def _changed_column_rows(
+        self, queries: Sequence[OntologyQuery], changed_bits: Sequence[int]
+    ) -> List[int]:
+        """Verdict bits of *queries* at the changed columns only.
+
+        Routes through the same machinery as a cold build, restricted to
+        the changed bit positions: the 2-D batch matrix path (one
+        dispatch whose global index holds just the changed borders), the
+        bit-restricted pool kernel, or the legacy per-border loop.
+        Returned rows carry bits at the original column positions.
+        """
+        if not queries:
+            return []
+        if self.batch_enabled:
+            from .batch_kernel import MultiLabelingBatchKernel
+
+            patch_columns = BorderColumns(
+                [self.columns.tuples[bit] for bit in changed_bits],
+                (),
+                borders=[self.columns.borders[bit] for bit in changed_bits],
+                radius=self.columns.radius,
+            )
+            batch = MultiLabelingBatchKernel(self.evaluator, [patch_columns])
+            [layout_rows] = batch.rows_for([list(queries)])
+            scattered = []
+            for local_row in layout_rows.rows:
+                row = 0
+                for local, bit in enumerate(changed_bits):
+                    row |= ((local_row >> local) & 1) << bit
+                scattered.append(row)
+            return scattered
+        if self.kernel_enabled:
+            from .kernel import PoolMatchKernel
+
+            restricted = PoolMatchKernel(
+                self.evaluator, self.columns, bits=changed_bits
+            )
+            return [restricted.row(query) for query in queries]
+        rows = [0] * len(queries)
+        for bit in changed_bits:
+            border = self.columns.borders[bit]
+            for position, query in enumerate(queries):
+                if isinstance(query, UnionOfConjunctiveQueries):
+                    hit = any(
+                        self.evaluator.matches_border(disjunct, border)
+                        for disjunct in query.disjuncts
+                    )
+                else:
+                    hit = self.evaluator.matches_border(query, border)
+                if hit:
+                    rows[position] |= 1 << bit
+        return rows
+
     # -- consumption ------------------------------------------------------
 
     def profile(self, query: OntologyQuery) -> BitsetVerdictProfile:

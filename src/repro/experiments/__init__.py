@@ -2,6 +2,7 @@
 
 from .ablation import run_bias_ablation, run_weight_ablation
 from .certain_answers_exp import run_certain_answers
+from .database_drift_exp import run_database_drift
 from .fidelity import run_fidelity
 from .harness import EXPERIMENTS, render_all, run_all
 from .paper_examples import (
@@ -28,6 +29,7 @@ __all__ = [
     "run_bias_ablation",
     "run_border_scalability",
     "run_certain_answers",
+    "run_database_drift",
     "run_example_3_3",
     "run_example_3_6",
     "run_example_3_8",

@@ -2,7 +2,7 @@
 
 from .certain_answers import STRATEGIES, CertainAnswerEngine, OntologyQuery
 from .chase import ChaseEngine, is_labelled_null, tuple_has_null
-from .database import SourceDatabase
+from .database import DatabaseDelta, SourceDatabase
 from .mapping import Mapping, MappingAssertion
 from .rewriting import PerfectRefRewriter
 from .schema import RelationSignature, SourceSchema
@@ -14,6 +14,7 @@ __all__ = [
     "STRATEGIES",
     "CertainAnswerEngine",
     "ChaseEngine",
+    "DatabaseDelta",
     "Mapping",
     "MappingAssertion",
     "OBDMSpecification",

@@ -26,7 +26,13 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple, Union
 
 from ..dl.ontology import Ontology
-from ..engine.cache import CacheLimits, EvaluationCache, KernelPolicy, VerdictPolicy
+from ..engine.cache import (
+    CacheLimits,
+    DeltaPolicy,
+    EvaluationCache,
+    KernelPolicy,
+    VerdictPolicy,
+)
 from ..errors import CertainAnswerError
 from ..queries.atoms import Atom
 from ..queries.cq import ConjunctiveQuery
@@ -77,6 +83,10 @@ class CertainAnswerEngine:
         # over a unified border index); disabling it restores per-pair
         # row construction inside the verdict matrix.
         self.kernel = KernelPolicy()
+        # Toggle for the fact-level database delta path; disabling it
+        # makes every applied delta behave like the legacy cold rebuild
+        # (full cache drop + session rebuild on next request).
+        self.delta = DeltaPolicy()
 
     # -- ABox handling -------------------------------------------------------
 

@@ -9,10 +9,26 @@ the explanation framework:
 * a by-constant index (constant → atoms mentioning it), which makes the
   border computation of Definition 3.2 a sequence of index lookups
   instead of database scans.
+
+Production traffic mutates the database, so the class also supports
+**fact-level deltas**: :class:`DatabaseDelta` carries a normalised set
+of added/removed ground atoms and :meth:`SourceDatabase.apply_delta`
+applies it in place, maintaining both indexes and a **content
+fingerprint**.  The fingerprint is an order-independent XOR accumulator
+of per-fact digests over a *canonical, type-tagged* serialisation
+(sha256 — never Python's salted ``hash()``), so two databases hold the
+same fingerprint iff they hold the same fact set, across processes and
+restarts.  Derived databases (:meth:`restrict_to`, :meth:`copy`,
+:meth:`from_catalog`, :meth:`from_rows`) re-insert their facts through
+:meth:`add_fact` and therefore carry consistent fingerprints for free.
+The engine's delta path (``repro.engine`` / ``repro.service``) uses the
+fingerprint to keep cache snapshots honest across database drift.
 """
 
 from __future__ import annotations
 
+import hashlib
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import SchemaError, UnknownRelationError
@@ -22,6 +38,84 @@ from ..sql.catalog import Catalog
 from .schema import RelationSignature, SourceSchema
 
 Value = Union[str, int, float, bool]
+
+_DIGEST_BITS = 128
+_DIGEST_MASK = (1 << _DIGEST_BITS) - 1
+
+
+def _fact_digest(fact: Atom) -> int:
+    """A process-stable 128-bit digest of one ground atom.
+
+    Built from a canonical serialisation that *type-tags* every value
+    (``Constant(True) != Constant(1)`` must digest differently), and
+    hashed with sha256 rather than Python's per-process-salted
+    ``hash()`` so fingerprints survive pickling and restarts.
+    """
+    parts = [fact.predicate, str(fact.arity)]
+    for argument in fact.args:
+        value = argument.value
+        parts.append(f"{type(value).__name__}:{value!r}")
+    payload = "\x1f".join(parts).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(payload).digest()[: _DIGEST_BITS // 8], "big")
+
+
+@dataclass(frozen=True)
+class DatabaseDelta:
+    """A fact-level database change: atoms to add and atoms to remove.
+
+    Use :meth:`DatabaseDelta.of` to build one — it normalises the two
+    sides (deduplicated, deterministically ordered, all atoms ground)
+    and rejects contradictory deltas that both add and remove the same
+    fact.  Deltas are immutable values: they can be logged, shipped to
+    replicas, inverted (:meth:`inverse`) and applied to any database
+    holding the removed facts.
+    """
+
+    added: Tuple[Atom, ...]
+    removed: Tuple[Atom, ...]
+
+    @staticmethod
+    def of(
+        added: Iterable[Atom] = (), removed: Iterable[Atom] = ()
+    ) -> "DatabaseDelta":
+        added_set = frozenset(added)
+        removed_set = frozenset(removed)
+        for fact in added_set | removed_set:
+            if not fact.is_ground():
+                raise SchemaError(f"database deltas carry ground atoms only, got {fact}")
+        conflict = added_set & removed_set
+        if conflict:
+            sample = ", ".join(str(a) for a in sorted(conflict)[:3])
+            raise SchemaError(f"delta both adds and removes: {sample}")
+        return DatabaseDelta(tuple(sorted(added_set)), tuple(sorted(removed_set)))
+
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.removed)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Every constant mentioned on either side of the delta."""
+        collected: Set[Constant] = set()
+        for fact in self.added:
+            collected |= fact.constants()
+        for fact in self.removed:
+            collected |= fact.constants()
+        return frozenset(collected)
+
+    def predicates(self) -> FrozenSet[str]:
+        """Every predicate mentioned on either side of the delta."""
+        return frozenset(
+            fact.predicate for side in (self.added, self.removed) for fact in side
+        )
+
+    def inverse(self) -> "DatabaseDelta":
+        """The delta that undoes this one."""
+        return DatabaseDelta(self.removed, self.added)
+
+    def __str__(self):
+        return f"DatabaseDelta(+{len(self.added)}, -{len(self.removed)})"
 
 
 class SourceDatabase:
@@ -46,13 +140,14 @@ class SourceDatabase:
         self._facts: Set[Atom] = set()
         self._by_predicate: Dict[str, Set[Atom]] = {}
         self._by_constant: Dict[Constant, Set[Atom]] = {}
+        self._fingerprint = 0
         for fact in facts:
             self.add_fact(fact)
 
     # -- mutation --------------------------------------------------------
 
-    def add_fact(self, fact: Atom) -> None:
-        """Insert a ground atom, validating it against the schema."""
+    def _validate_fact(self, fact: Atom) -> None:
+        """Schema checks for one fact, with no side effects."""
         if not fact.is_ground():
             raise SchemaError(f"cannot insert non-ground atom {fact}")
         if self.schema.has_relation(fact.predicate):
@@ -66,7 +161,11 @@ class SourceDatabase:
                 f"fact {fact} uses relation {fact.predicate!r} not declared in schema "
                 f"{self.schema.name!r}"
             )
-        else:
+
+    def add_fact(self, fact: Atom) -> None:
+        """Insert a ground atom, validating it against the schema."""
+        self._validate_fact(fact)
+        if not self.schema.has_relation(fact.predicate):
             self.schema.declare_arity(fact.predicate, fact.arity)
         if fact in self._facts:
             return
@@ -74,6 +173,58 @@ class SourceDatabase:
         self._by_predicate.setdefault(fact.predicate, set()).add(fact)
         for argument in fact.args:
             self._by_constant.setdefault(argument, set()).add(fact)
+        self._fingerprint ^= _fact_digest(fact)
+
+    def remove_fact(self, fact: Atom) -> None:
+        """Delete a fact, maintaining both indexes and the fingerprint."""
+        if fact not in self._facts:
+            raise SchemaError(
+                f"cannot remove fact {fact}: not in database {self.name!r}"
+            )
+        self._facts.discard(fact)
+        bucket = self._by_predicate[fact.predicate]
+        bucket.discard(fact)
+        if not bucket:
+            del self._by_predicate[fact.predicate]
+        for argument in set(fact.args):
+            owners = self._by_constant[argument]
+            owners.discard(fact)
+            if not owners:
+                del self._by_constant[argument]
+        self._fingerprint ^= _fact_digest(fact)
+
+    def apply_delta(self, delta: DatabaseDelta) -> "SourceDatabase":
+        """Apply a fact-level delta in place (removals first, then adds).
+
+        Validates the *whole* delta before mutating anything, so a bad
+        delta (unknown removal, non-ground or arity-mismatched add)
+        leaves the database untouched.  Returns ``self`` for chaining.
+        The content fingerprint is bumped incrementally as each fact is
+        indexed/unindexed.
+        """
+        for fact in delta.removed:
+            if fact not in self._facts:
+                raise SchemaError(
+                    f"delta removes fact {fact} not present in database {self.name!r}"
+                )
+        for fact in delta.added:
+            self._validate_fact(fact)
+        for fact in delta.removed:
+            self.remove_fact(fact)
+        for fact in delta.added:
+            self.add_fact(fact)
+        return self
+
+    def fingerprint(self) -> str:
+        """A process-stable content fingerprint of the current fact set.
+
+        Equal iff the fact sets are equal (order-independent XOR of
+        per-fact sha256 digests, prefixed with the fact count), so
+        derived databases built from the same facts — ``copy()``,
+        ``restrict_to`` over all facts, ``from_catalog`` round trips —
+        report the same fingerprint, and any applied delta bumps it.
+        """
+        return f"{len(self._facts):x}.{self._fingerprint & _DIGEST_MASK:032x}"
 
     def add(self, predicate: str, *values: Value) -> Atom:
         """Insert ``predicate(values...)`` and return the created fact."""

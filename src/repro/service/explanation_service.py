@@ -40,11 +40,30 @@ over an unbounded request stream:
    cold rebuild (differential-pinned in
    ``tests/engine/test_cache_lifecycle.py``).
 
+4. **Database drift.**  :meth:`ExplanationService.apply_delta` takes a
+   fact-level :class:`~repro.obdm.database.DatabaseDelta`, mutates the
+   source database in place and propagates the change incrementally:
+   the border computer reports which cached borders the delta can touch
+   (:meth:`~repro.core.border.BorderComputer.apply_delta`), the shared
+   cache drops exactly the entries built over those borders
+   (:meth:`~repro.engine.cache.EvaluationCache.invalidate_borders`) and
+   every live session's matrix re-evaluates only the columns whose
+   border content actually changed
+   (:meth:`~repro.engine.verdicts.VerdictMatrix.apply_database_delta`).
+   Untouched sessions, borders and memo entries stay warm.  With
+   ``specification.engine.delta.enabled = False`` the same call falls
+   back to the legacy cold path — full cache clear plus session reset —
+   which the differential suite pins as behaviour-identical.
+
 Persistence: :meth:`ExplanationService.save` snapshots the cache's
 content-addressed memo state to disk and
 :meth:`ExplanationService.load` merges it back, so a restarted service
 answers its first requests at warm-cache speed.  Live entries win over
 persisted ones and merged entries respect the configured limits.
+Snapshots are stamped with the specification fingerprint *and* the
+database content fingerprint, so a service whose database has drifted
+since the snapshot refuses to load it (stale border/verdict memos would
+otherwise silently survive the drift).
 
 Typical use::
 
@@ -76,6 +95,7 @@ from ..core.scoring import ScoringExpression, example_3_8_expression
 from ..errors import ExplanationError
 from ..queries.parser import parse_query
 from ..obdm.certain_answers import OntologyQuery
+from ..obdm.database import DatabaseDelta
 from ..obdm.system import OBDMSystem
 from ..engine.cache import CacheLimits, CacheStats, LRUStore
 
@@ -86,10 +106,21 @@ class ServiceStats(CacheStats):
     Inherits the locked-counter machinery (``count``/``as_dict``/
     ``merge``/``delta_since``, pickling) from
     :class:`~repro.engine.cache.CacheStats`; only the counter set
-    differs.
+    differs.  The ``delta_*`` counters account the database-drift path:
+    deltas applied, borders they touched, sessions whose matrix was
+    incrementally updated, and legacy full resets (toggle off).
     """
 
-    _COUNTERS = ("requests", "warm_hits", "drift_updates", "cold_builds")
+    _COUNTERS = (
+        "requests",
+        "warm_hits",
+        "drift_updates",
+        "cold_builds",
+        "database_deltas",
+        "delta_borders_touched",
+        "delta_sessions_updated",
+        "delta_cold_resets",
+    )
 
 
 class _Session:
@@ -217,23 +248,117 @@ class ExplanationService:
 
     # -- persistence -------------------------------------------------------
 
+    def _snapshot_fingerprint(self) -> str:
+        """Content hash the memo values depend on: specification + data.
+
+        The engine's fingerprint covers the ontology and mapping; the
+        database fingerprint covers the facts every border, saturation
+        and verdict was computed over.  Stamping both keeps snapshots
+        honest under database drift: a delta applied between save and
+        load changes the database fingerprint, so the stale snapshot is
+        refused instead of silently serving pre-delta verdicts.
+        """
+        engine = self.system.specification.engine
+        return f"{engine.cache_fingerprint()}:{self.system.database.fingerprint()}"
+
     def save(self, path) -> Dict[str, int]:
         """Snapshot the shared cache so a restarted service starts warm.
 
         The snapshot is stamped with the specification's content
-        fingerprint, so :meth:`load` on a service over a different (or
-        since-updated) specification refuses it instead of silently
+        fingerprint and the database's fact-level fingerprint, so
+        :meth:`load` on a service over a different (or since-updated)
+        specification *or database* refuses it instead of silently
         serving stale memo values.
         """
-        return self.system.specification.engine.save_cache(path)
+        return self.cache.save(path, fingerprint=self._snapshot_fingerprint())
 
     def load(self, path) -> Dict[str, int]:
         """Merge a saved snapshot into the shared cache (live entries win).
 
         Raises ``ValueError`` for snapshots saved against a different
-        specification.
+        specification or a database whose content has drifted since the
+        snapshot was taken.
         """
-        return self.system.specification.engine.load_cache(path)
+        return self.cache.load(path, fingerprint=self._snapshot_fingerprint())
+
+    # -- database drift ----------------------------------------------------
+
+    def apply_delta(self, delta: DatabaseDelta) -> Dict[str, int]:
+        """Apply a fact-level database delta and propagate it incrementally.
+
+        The source database is mutated in place
+        (:meth:`~repro.obdm.database.SourceDatabase.apply_delta`; a delta
+        that fails validation raises before any state changes), then the
+        drift propagates through every layer that memoizes data-derived
+        state:
+
+        1. the system's retrieved-ABox snapshot is invalidated;
+        2. the border computer evicts exactly the cached borders the
+           delta can touch and reports them;
+        3. the shared cache drops the entries built over those borders
+           (border ABoxes, their saturations, J-match verdicts, verdict
+           layouts and tabled subquery states);
+        4. every live session's matrix re-evaluates only the columns
+           whose border content actually changed
+           (:meth:`~repro.engine.verdicts.VerdictMatrix.apply_database_delta`)
+           — surviving verdict bits migrate by masking, untouched
+           sessions are served warm on their next request.
+
+        With ``specification.engine.delta.enabled = False`` the call
+        instead reproduces the legacy cold path exactly: the shared
+        cache, border cache and session ring are cleared and the next
+        request rebuilds from scratch.
+
+        Returns an accounting dict (facts added/removed, borders
+        touched, sessions updated, per-layer cache invalidations).
+        An empty delta is a no-op.
+        """
+        counts = {
+            "added": len(delta.added),
+            "removed": len(delta.removed),
+            "borders_touched": 0,
+            "sessions_updated": 0,
+            "cache_invalidated": 0,
+        }
+        if delta.is_empty():
+            return counts
+        engine = self.system.specification.engine
+        with self._session_guard:
+            self.system.database.apply_delta(delta)
+            self.system.invalidate()
+            self.stats.count("database_deltas")
+            if not engine.delta.enabled:
+                # Legacy path: drop all derived state; the next request
+                # cold-builds against the post-delta database.
+                counts["cache_invalidated"] = sum(self.cache.size_report().values())
+                self.cache.clear()
+                self._border_computer._cache.clear()
+                self._sessions.clear()
+                self._name_index.clear()
+                self.stats.count("delta_cold_resets")
+                return counts
+            touched = self._border_computer.apply_delta(delta)
+            dropped = self.cache.invalidate_borders(touched, delta.constants())
+            counts["borders_touched"] = len(touched)
+            counts["cache_invalidated"] = sum(dropped.values())
+            # Every session re-checks its own borders: a session may hold
+            # borders already evicted from the computer's LRU cache, so
+            # an empty *touched* set does not prove the sessions are
+            # clean.  Unchanged matrices return themselves.
+            for key, session in list(self._sessions.items()):
+                if session.matrix is None:
+                    continue
+                updated = session.matrix.apply_database_delta()
+                if updated is not session.matrix:
+                    session.matrix = updated
+                    counts["sessions_updated"] += 1
+            self.stats.merge(
+                {
+                    "delta_borders_touched": counts["borders_touched"],
+                    "delta_sessions_updated": counts["sessions_updated"],
+                }
+            )
+        return counts
 
     # -- session lifecycle -------------------------------------------------
 

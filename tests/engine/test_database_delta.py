@@ -1,0 +1,350 @@
+"""Differential suite for fact-level database drift (deltas).
+
+Pins four contracts of the delta path:
+
+* **delta algebra** — :class:`~repro.obdm.database.DatabaseDelta`
+  validation, deduplication, inversion, and the database's
+  order-independent content fingerprint (apply + inverse restores it;
+  a rejected delta leaves the database untouched);
+* **in-place index patching** —
+  :meth:`~repro.engine.kernel.UnifiedBorderIndex.apply_patch` yields an
+  index observationally identical to one rebuilt from scratch over the
+  new entries (supports, candidate masks, full mask), with tombstoned
+  rows inert;
+* **incremental = cold** — a resident
+  :class:`~repro.service.ExplanationService` absorbing a seeded random
+  add/remove delta stream serves rankings byte-identical to a cold
+  service rebuilt over the post-delta database, across all four domain
+  ontologies × {thread, process} reference executors;
+* **the toggle is honest** — ``engine.delta.enabled = False`` routes
+  every delta through the legacy full reset (cache clear + session
+  drop) and still reproduces the cold rankings exactly, while an
+  unrelated delta (fresh constants only) leaves every session warm.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.explainer import OntologyExplainer
+from repro.core.labeling import Labeling
+from repro.engine.kernel import UnifiedBorderIndex
+from repro.errors import SchemaError
+from repro.experiments.kernel_exp import (
+    PROBE_DOMAINS,
+    PROBE_SPECIFICATIONS,
+    build_probe_system,
+    probe_labeling,
+    probe_pool,
+)
+from repro.obdm.database import DatabaseDelta, SourceDatabase
+from repro.obdm.system import OBDMSystem
+from repro.queries.atoms import Atom
+from repro.queries.terms import Constant
+from repro.service import ExplanationService
+
+DOMAINS = PROBE_DOMAINS
+
+
+def _fact(predicate: str, *values) -> Atom:
+    return Atom(predicate, tuple(Constant(value) for value in values))
+
+
+def _some_fact(database: SourceDatabase) -> Atom:
+    return sorted(database.facts, key=str)[0]
+
+
+# -- delta algebra + fingerprint ---------------------------------------------
+
+
+class TestDatabaseDelta:
+    def test_of_dedupes_and_sorts(self):
+        a, b = _fact("R", "x", "y"), _fact("R", "x", "z")
+        delta = DatabaseDelta.of([b, a, b], [])
+        assert delta.added == tuple(sorted((a, b), key=str))
+        assert delta.removed == ()
+        assert len(delta) == 2 and not delta.is_empty()
+
+    def test_add_remove_conflict_rejected(self):
+        fact = _fact("R", "x", "y")
+        with pytest.raises(SchemaError):
+            DatabaseDelta.of([fact], [fact])
+
+    def test_non_ground_atom_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseDelta.of([Atom.of("R", "?x", "y")], [])
+
+    def test_inverse_swaps_sides(self):
+        delta = DatabaseDelta.of([_fact("R", "a", "b")], [_fact("S", "c")])
+        inverse = delta.inverse()
+        assert inverse.added == delta.removed
+        assert inverse.removed == delta.added
+        assert inverse.inverse() == delta
+
+    def test_constants_and_predicates(self):
+        delta = DatabaseDelta.of([_fact("R", "a", "b")], [_fact("S", "c")])
+        assert delta.predicates() == frozenset({"R", "S"})
+        assert delta.constants() == frozenset(
+            {Constant("a"), Constant("b"), Constant("c")}
+        )
+
+    def test_apply_and_inverse_restore_fingerprint(self):
+        system = build_probe_system("university")
+        database = system.database
+        before_facts = set(database.facts)
+        before = database.fingerprint()
+        removed = _some_fact(database)
+        added = _fact(removed.predicate, *(["GHOST"] * len(removed.args)))
+        delta = DatabaseDelta.of([added], [removed])
+        database.apply_delta(delta)
+        assert database.fingerprint() != before
+        assert added in database.facts and removed not in database.facts
+        database.apply_delta(delta.inverse())
+        assert database.fingerprint() == before
+        assert set(database.facts) == before_facts
+
+    def test_fingerprint_is_order_independent(self):
+        system = build_probe_system("university")
+        database = system.database
+        facts = sorted(database.facts, key=str)[:4]
+        forward = database.copy()
+        backward = database.copy()
+        forward.apply_delta(DatabaseDelta.of([], facts))
+        for fact in facts:
+            forward.add_fact(fact)
+        for fact in reversed(facts):
+            backward.remove_fact(fact)
+        for fact in reversed(facts):
+            backward.add_fact(fact)
+        assert forward.fingerprint() == backward.fingerprint() == database.fingerprint()
+
+    def test_invalid_delta_leaves_database_untouched(self):
+        system = build_probe_system("university")
+        database = system.database
+        before = database.fingerprint()
+        phantom = _fact(_some_fact(database).predicate, "NO", "SUCH", "FACT")
+        ghost = _fact(_some_fact(database).predicate, "A", "B", "C")
+        with pytest.raises(SchemaError):
+            database.apply_delta(DatabaseDelta.of([ghost], [phantom]))
+        assert database.fingerprint() == before
+        assert ghost not in database.facts
+
+
+# -- in-place index patching --------------------------------------------------
+
+
+def _entries(database: SourceDatabase, chunks: int):
+    """Split the database's facts into *chunks* synthetic border columns."""
+    facts = sorted(database.facts, key=str)
+    size = max(1, len(facts) // chunks)
+    return [
+        (bit, frozenset(facts[bit * size : (bit + 1) * size])) for bit in range(chunks)
+    ]
+
+
+def _assert_same_index(patched: UnifiedBorderIndex, rebuilt: UnifiedBorderIndex, atoms):
+    assert patched.full_mask == rebuilt.full_mask
+    for atom in atoms:
+        assert patched.support(atom) == rebuilt.support(atom), str(atom)
+        patched_rows = {
+            (args, mask) for args, mask in patched.candidates(atom) if mask
+        }
+        rebuilt_rows = {
+            (args, mask) for args, mask in rebuilt.candidates(atom) if mask
+        }
+        assert patched_rows == rebuilt_rows, str(atom)
+
+
+class TestApplyPatch:
+    def test_patched_index_matches_rebuild(self):
+        database = build_probe_system("university").database
+        entries = _entries(database, 4)
+        index = UnifiedBorderIndex(entries)
+        probe_atoms = [fact for _bit, facts in entries for fact in sorted(facts, key=str)[:3]]
+        for atom in probe_atoms:  # pre-warm the support memo
+            index.support(atom)
+        removed = sorted(entries[1][1], key=str)[0]
+        replacement = _fact(removed.predicate, *(["PATCHED"] * len(removed.args)))
+        new_facts = frozenset(entries[1][1] - {removed} | {replacement})
+        touched = index.apply_patch([(1, new_facts)])
+        assert removed.predicate in touched
+        rebuilt = UnifiedBorderIndex(
+            [(bit, new_facts if bit == 1 else facts) for bit, facts in entries]
+        )
+        _assert_same_index(index, rebuilt, probe_atoms + [replacement])
+
+    def test_emptied_column_is_tombstoned(self):
+        database = build_probe_system("university").database
+        entries = _entries(database, 3)
+        index = UnifiedBorderIndex(entries)
+        index.apply_patch([(2, frozenset())])
+        for _bit, facts in entries:
+            for fact in facts:
+                assert index.support(fact) & (1 << 2) == 0
+        # full_mask keeps the bit: it records covered columns, not
+        # non-empty ones.
+        assert index.full_mask & (1 << 2)
+
+    def test_empty_patch_is_noop(self):
+        database = build_probe_system("university").database
+        index = UnifiedBorderIndex(_entries(database, 2))
+        before = index.full_mask
+        assert index.apply_patch([]) == frozenset()
+        assert index.full_mask == before
+
+
+# -- incremental vs cold over random delta streams ----------------------------
+
+
+def _random_delta_stream(
+    database: SourceDatabase,
+    labeling: Labeling,
+    steps: int,
+    rng: random.Random,
+    facts_per_step: int = 2,
+) -> list:
+    """Seeded random add/remove stream anchored at labeled constants.
+
+    Each step removes up to *facts_per_step* random facts mentioning a
+    random labeled constant and inserts same-predicate replacements
+    with one fresh constant, validated against a scratch copy so every
+    delta is applicable at its position.
+    """
+    scratch = database.copy(name="stream_scratch")
+    anchors = sorted(
+        {constant for labeled in labeling.tuples() for constant in labeled},
+        key=lambda constant: str(constant.value),
+    )
+    stream = []
+    for step in range(steps):
+        anchor = rng.choice(anchors)
+        candidates = sorted(scratch.facts_with_constant(anchor), key=str)
+        if not candidates:
+            continue
+        removed = rng.sample(candidates, min(facts_per_step, len(candidates)))
+        added = []
+        for j, fact in enumerate(removed):
+            fresh = Constant(f"DRIFT{step}_{j}")
+            swapped = tuple(
+                fresh if position == len(fact.args) - 1 else value
+                for position, value in enumerate(fact.args)
+            )
+            added.append(Atom(fact.predicate, swapped))
+        delta = DatabaseDelta.of(added, removed)
+        scratch.apply_delta(delta)
+        stream.append(delta)
+    return stream
+
+
+def _drift_service(domain: str, database: SourceDatabase, enabled: bool = True):
+    specification = PROBE_SPECIFICATIONS[domain]()
+    specification.engine.delta.enabled = enabled
+    system = OBDMSystem(specification, database, name=f"{domain}_drift")
+    return ExplanationService(system, radius=1)
+
+
+def _cold_render(domain: str, database: SourceDatabase, labeling, pool, executor: str):
+    specification = PROBE_SPECIFICATIONS[domain]()
+    system = OBDMSystem(specification, database, name=f"{domain}_cold")
+    report = OntologyExplainer(system).explain_batch(
+        [labeling], radius=1, candidates=pool, top_k=None, executor=executor
+    )[0]
+    return report.render(top_k=None)
+
+
+def _assert_stream_identical(domain: str, executor: str, steps: int = 3, seed: int = 23):
+    base = build_probe_system(domain)
+    labeling = probe_labeling(base)
+    pool = probe_pool(base)
+    stream = _random_delta_stream(base.database, labeling, steps, random.Random(seed))
+    assert stream, "the random stream generated no applicable delta"
+
+    service = _drift_service(domain, base.database.copy())
+    service.explain(labeling, candidates=pool, top_k=None)  # warm the session
+    reference = base.database.copy()
+    for delta in stream:
+        service.apply_delta(delta)
+        warm = service.explain(labeling, candidates=pool, top_k=None).render(top_k=None)
+        reference.apply_delta(delta)
+        cold = _cold_render(domain, reference.copy(), labeling, pool, executor)
+        assert warm == cold, f"{domain}: incremental ranking diverged after {delta}"
+    assert service.stats.database_deltas == len(stream)
+    assert service.stats.delta_cold_resets == 0
+    assert service.system.database.fingerprint() == reference.fingerprint()
+
+
+@pytest.mark.service
+class TestIncrementalMatchesCold:
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_thread_reference(self, domain):
+        _assert_stream_identical(domain, executor="thread")
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_process_reference(self, domain):
+        _assert_stream_identical(domain, executor="process", steps=2)
+
+
+@pytest.mark.service
+class TestToggleAndLocality:
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_toggle_off_reproduces_legacy_cold_path(self, domain):
+        base = build_probe_system(domain)
+        labeling = probe_labeling(base)
+        pool = probe_pool(base)
+        stream = _random_delta_stream(base.database, labeling, 2, random.Random(5))
+        service = _drift_service(domain, base.database.copy(), enabled=False)
+        service.explain(labeling, candidates=pool, top_k=None)
+        reference = base.database.copy()
+        for delta in stream:
+            accounting = service.apply_delta(delta)
+            assert accounting["borders_touched"] == 0
+            assert accounting["sessions_updated"] == 0
+            reference.apply_delta(delta)
+            warm = service.explain(labeling, candidates=pool, top_k=None).render(top_k=None)
+            cold = _cold_render(domain, reference.copy(), labeling, pool, "thread")
+            assert warm == cold
+        # Legacy semantics: every delta resets, every next request
+        # cold-builds — exactly what a stateless deployment would do.
+        assert service.stats.delta_cold_resets == len(stream)
+        assert service.stats.cold_builds == 1 + len(stream)
+        assert len(service._sessions) == 1
+
+    def test_unrelated_delta_leaves_sessions_warm(self):
+        base = build_probe_system("university")
+        labeling = probe_labeling(base)
+        pool = probe_pool(base)
+        service = _drift_service("university", base.database.copy())
+        service.explain(labeling, candidates=pool, top_k=None)
+        (session,) = [session for _key, session in service._sessions.items()]
+        matrix = session.matrix
+        template = _some_fact(service.system.database)
+        ghost = _fact(template.predicate, *[f"GHOST{i}" for i in range(len(template.args))])
+        accounting = service.apply_delta(DatabaseDelta.of([ghost], []))
+        assert accounting["borders_touched"] == 0
+        assert accounting["sessions_updated"] == 0
+        assert session.matrix is matrix  # the matrix object survived untouched
+        before = service.stats.warm_hits
+        report = service.explain(labeling, candidates=pool, top_k=None)
+        assert service.stats.warm_hits == before + 1
+        cold = _cold_render(
+            "university", service.system.database.copy(), labeling, pool, "thread"
+        )
+        assert report.render(top_k=None) == cold
+
+    def test_empty_delta_is_noop(self):
+        base = build_probe_system("university")
+        service = _drift_service("university", base.database.copy())
+        before = service.system.database.fingerprint()
+        accounting = service.apply_delta(DatabaseDelta.of([], []))
+        assert accounting == {
+            "added": 0,
+            "removed": 0,
+            "borders_touched": 0,
+            "sessions_updated": 0,
+            "cache_invalidated": 0,
+        }
+        assert service.stats.database_deltas == 0
+        assert service.system.database.fingerprint() == before

@@ -125,3 +125,81 @@ class TestSourceDatabase:
         duplicate.add("STUD", "C12")
         assert len(database) == 3
         assert len(duplicate) == 4
+
+
+class TestFingerprint:
+    """The content fingerprint every derived database must carry consistently."""
+
+    def build(self):
+        schema = SourceSchema(name="S")
+        schema.declare("STUD", ("student",))
+        schema.declare("ENR", ("student", "subject", "university"))
+        database = SourceDatabase(schema, name="D")
+        database.add("STUD", "A10")
+        database.add("ENR", "A10", "Math", "TV")
+        database.add("ENR", "B80", "Math", "Sap")
+        return database
+
+    def test_same_content_same_fingerprint(self):
+        assert self.build().fingerprint() == self.build().fingerprint()
+
+    def test_insertion_order_is_irrelevant(self):
+        schema = SourceSchema(name="S")
+        schema.declare("R", ("a", "b"))
+        forward, backward = SourceDatabase(schema), SourceDatabase(schema)
+        rows = [("x", "y"), ("u", "v"), ("p", "q")]
+        for row in rows:
+            forward.add("R", *row)
+        for row in reversed(rows):
+            backward.add("R", *row)
+        assert forward.fingerprint() == backward.fingerprint()
+
+    def test_add_remove_round_trip_restores(self):
+        database = self.build()
+        before = database.fingerprint()
+        fact = Atom.of("STUD", "Z99")
+        database.add_fact(fact)
+        assert database.fingerprint() != before
+        database.remove_fact(fact)
+        assert database.fingerprint() == before
+
+    def test_duplicate_add_does_not_change_fingerprint(self):
+        database = self.build()
+        before = database.fingerprint()
+        database.add("STUD", "A10")
+        assert database.fingerprint() == before
+
+    def test_value_types_are_distinguished(self):
+        schema = SourceSchema(name="S")
+        schema.declare("R", ("a",))
+        as_bool, as_int = SourceDatabase(schema), SourceDatabase(schema)
+        as_bool.add_fact(Atom("R", (Constant(True),)))
+        as_int.add_fact(Atom("R", (Constant(1),)))
+        assert as_bool.fingerprint() != as_int.fingerprint()
+
+    def test_copy_restrict_and_catalog_carry_fingerprint(self):
+        database = self.build()
+        assert database.copy().fingerprint() == database.fingerprint()
+        rebuilt = SourceDatabase.from_catalog(database.to_catalog())
+        assert rebuilt.fingerprint() == database.fingerprint()
+        subset = database.restrict_to(database.facts_with_predicate("ENR"))
+        reference = SourceDatabase(database.schema)
+        for fact in sorted(database.facts_with_predicate("ENR"), key=str):
+            reference.add_fact(fact)
+        assert subset.fingerprint() == reference.fingerprint()
+
+    def test_mutating_a_copy_never_aliases_the_original(self):
+        database = self.build()
+        duplicate = database.copy()
+        removed = Atom.of("ENR", "A10", "Math", "TV")
+        duplicate.remove_fact(removed)
+        duplicate.add("ENR", "C12", "Science", "Norm")
+        # The original's fact set and both lookup indexes are untouched.
+        assert removed in database.facts
+        assert removed in database.facts_with_predicate("ENR")
+        assert removed in database.facts_with_constant(Constant("Math"))
+        assert not database.facts_with_constant(Constant("C12"))
+        assert database.fingerprint() != duplicate.fingerprint()
+        # And the copy's indexes reflect only its own mutations.
+        assert removed not in duplicate.facts_with_predicate("ENR")
+        assert duplicate.facts_with_constant(Constant("C12"))

@@ -386,3 +386,93 @@ class TestBooleanLabelingsThroughTheStack:
         labeling = Labeling(positives=[True, "A10"], negatives=[1, 0], name="bools")
         assert labeling.label_of(True) == 1
         assert labeling.label_of(1) == -1
+
+
+class TestDriftPreviewEdgeCases:
+    def test_unknown_labeling_name_previews_none(self, service, labeling):
+        service.explain(labeling)
+        stranger = Labeling(
+            labeling.positives, list(labeling.negatives) + [("E25",)], name="never_served"
+        )
+        assert service.drift_of(stranger) is None
+
+    def test_radius_mismatch_previews_none(self, service, labeling):
+        service.explain(labeling)  # served at the default radius
+        drifted = _drifted(labeling)
+        assert service.drift_of(drifted) is not None
+        # The same name under another radius has no warm predecessor.
+        assert service.drift_of(drifted, radius=0) is None
+
+    def test_evicted_predecessor_previews_none(self, labeling):
+        service = ExplanationService(build_university_system(), max_sessions=2)
+        service.explain(labeling)
+        drifted = _drifted(labeling)
+        assert service.drift_of(drifted) is not None
+        # Fill the session ring until the predecessor is evicted.
+        constants = sorted(
+            str(c.value) for t in labeling.tuples() for c in t
+        )
+        for index in range(2):
+            filler = Labeling(
+                positives=constants[index : index + 1],
+                negatives=constants[index + 1 : index + 2],
+                name=f"filler_{index}",
+            )
+            service.explain(filler)
+        assert service.drift_of(drifted) is None
+
+
+class TestDatabaseDrift:
+    def _delta(self, database):
+        from repro.obdm.database import DatabaseDelta
+        from repro.queries.atoms import Atom
+        from repro.queries.terms import Constant
+
+        removed = sorted(database.facts, key=str)[0]
+        added = Atom(
+            removed.predicate, tuple(Constant(f"GHOST{i}") for i in range(len(removed.args)))
+        )
+        return DatabaseDelta.of([added], [removed])
+
+    def _reference_system(self, database):
+        base = build_university_system()
+        return OBDMSystem(base.specification, database, name="university_drift_ref")
+
+    def test_apply_delta_serves_post_delta_rankings(self, service, labeling):
+        service.explain(labeling)
+        delta = self._delta(service.system.database)
+        accounting = service.apply_delta(delta)
+        assert accounting["sessions_updated"] == 1
+        assert service.stats.database_deltas == 1
+        assert service.stats.delta_cold_resets == 0
+        report = service.explain(labeling)
+        reference = OntologyExplainer(
+            self._reference_system(service.system.database.copy())
+        ).explain(labeling)
+        assert report.render() == reference.render()
+
+    def test_snapshot_is_refused_after_database_drift(self, service, labeling, tmp_path):
+        service.explain(labeling)
+        path = tmp_path / "service.cache"
+        service.save(path)
+        # A drifted twin refuses the pre-delta snapshot...
+        twin = ExplanationService(build_university_system())
+        twin.apply_delta(self._delta(twin.system.database))
+        with pytest.raises(ValueError):
+            twin.load(path)
+        # ...and so does the saving service itself once it drifts.
+        service.apply_delta(self._delta(service.system.database))
+        with pytest.raises(ValueError):
+            service.load(path)
+
+    def test_snapshot_round_trip_after_matching_drift(self, service, labeling, tmp_path):
+        service.explain(labeling)
+        delta = self._delta(service.system.database)
+        service.apply_delta(delta)
+        service.explain(labeling)
+        path = tmp_path / "service.cache"
+        service.save(path)
+        restarted = ExplanationService(build_university_system())
+        restarted.apply_delta(delta)  # same post-delta content: accepted
+        restarted.load(path)
+        assert restarted.explain(labeling).render() == service.explain(labeling).render()
