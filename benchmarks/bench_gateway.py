@@ -1,0 +1,148 @@
+"""E15 gate — async gateway serving vs naive-serialized workers.
+
+The serving-architecture gate: the same request stream (a few distinct
+sessions, many concurrent duplicate clients, repeated bursts) served by
+(a) a stateless worker per request, serially — what a deployment
+without the gateway would do — and (b) one
+:class:`~repro.gateway.ExplanationGateway` over a warm
+:class:`~repro.service.ExplanationService`, coalescing identical
+in-flight requests and serving repeats from the warm session ring.
+
+Drives the E15 experiment
+(:func:`repro.experiments.gateway_exp.run_gateway_serving` — one shared
+workload definition, no duplicated harness) and asserts:
+
+* reports are identical request-for-request between the two paths;
+* coalescing actually fired (duplicate concurrent requests shared one
+  evaluation) and nothing was shed at the provisioned admission bound;
+* a saturated gateway sheds deterministically (503-style) while the
+  admitted leader still completes;
+* a replica booted from the serving replica's streamed snapshot ranks
+  identically to its donor, with verdict rows surviving the trip;
+* sustained throughput is ≥3× the naive-serialized baseline (measured
+  ~10–18×; 3× keeps the gate robust on noisy CI machines);
+* the recorded trajectory entry carries the client-visible p99 latency
+  and the memory high-water mark every bench record samples.
+
+Profiles (``REPRO_BENCH_PROFILE`` env var, see ``conftest.py``):
+
+* ``quick`` — 3 sessions × 6 duplicates × 2 rounds, 16 candidates;
+* ``full``  — 4 sessions × 8 duplicates × 2 rounds, 24 candidates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.experiments.gateway_exp import run_gateway_serving
+
+MIN_SPEEDUP = 3.0
+
+
+@dataclass(frozen=True)
+class GatewayBenchConfig:
+    applicants: int
+    candidate_pool: int
+    labeled_per_side: int
+    labelings: int
+    duplicates: int
+    rounds: int
+
+
+PROFILES = {
+    "quick": GatewayBenchConfig(
+        applicants=30,
+        candidate_pool=16,
+        labeled_per_side=8,
+        labelings=3,
+        duplicates=6,
+        rounds=2,
+    ),
+    "full": GatewayBenchConfig(
+        applicants=40,
+        candidate_pool=24,
+        labeled_per_side=12,
+        labelings=4,
+        duplicates=8,
+        rounds=2,
+    ),
+}
+
+
+def test_bench_gateway(bench_profile, bench_trajectory):
+    config = PROFILES[bench_profile]
+    result = run_gateway_serving(
+        applicants=config.applicants,
+        candidate_pool=config.candidate_pool,
+        labeled_per_side=config.labeled_per_side,
+        labelings=config.labelings,
+        duplicates=config.duplicates,
+        rounds=config.rounds,
+    )
+    serving_row = result.rows[0]
+    shed_row = result.rows[1]
+    shipping_row = result.rows[2]
+
+    assert serving_row["identical_rankings"] is True, (
+        "gateway-served rankings diverged from the naive-serialized baseline"
+    )
+    assert serving_row["coalesced_hits"] > 0, (
+        "no requests coalesced — duplicate concurrent traffic never shared work"
+    )
+    assert serving_row["shed_requests"] == 0, (
+        "the provisioned gateway shed requests during the serving measurement"
+    )
+    assert serving_row["cold_builds"] == config.labelings, (
+        "each distinct session must be evaluated exactly once (coalesced + warm)"
+    )
+    assert serving_row["p99_seconds"] is not None, (
+        "the gateway recorded no latency samples"
+    )
+
+    assert shed_row["deterministic_shed"] is True, (
+        "a saturated gateway must shed with GatewayOverloaded"
+    )
+    assert shed_row["leader_completed"] is True, (
+        "shedding corrupted the admitted leader evaluation"
+    )
+
+    assert shipping_row["warm_boot"] is True, (
+        "the replica failed to boot warm from the donor's streamed snapshot"
+    )
+    assert shipping_row["identical_rankings"] is True, (
+        "a snapshot-shipped replica ranked differently from its donor"
+    )
+    assert shipping_row["fingerprints_match"] is True, (
+        "donor and replica disagree on the shipped content fingerprint"
+    )
+    assert shipping_row["loaded_verdict_rows"] > 0, (
+        "no verdict rows survived the shipping round trip"
+    )
+
+    speedup = serving_row["speedup"] if serving_row["speedup"] is not None else float("inf")
+    path = bench_trajectory(
+        "gateway",
+        speedup=serving_row["speedup"],
+        requests=serving_row["requests"],
+        gateway_rps=serving_row["gateway_rps"],
+        naive_rps=serving_row["naive_rps"],
+        coalesced_hits=serving_row["coalesced_hits"],
+        p50_seconds=serving_row["p50_seconds"],
+        p99_seconds=serving_row["p99_seconds"],
+    )
+    recorded = json.loads(path.read_text())[-1]
+    assert "peak_rss_bytes" in recorded, (
+        "trajectory records must sample the memory high-water mark"
+    )
+    assert recorded["p99_seconds"] is not None, (
+        "the trajectory record must carry the client-visible p99 latency"
+    )
+    print()
+    print(f"gateway bench [{bench_profile}]")
+    print(result.render())
+    print(f"  gate: speedup >= {MIN_SPEEDUP} x (warm-coalesced vs naive-serialized)")
+    assert speedup >= MIN_SPEEDUP, (
+        f"gateway serving only {speedup:.1f}x faster than naive-serialized "
+        f"workers (required >= {MIN_SPEEDUP}x)"
+    )

@@ -68,7 +68,9 @@ useful across millions of requests:
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -245,9 +247,17 @@ class CacheStats:
         self.__dict__.update(state)
         self._lock = threading.Lock()
 
-    def count(self, counter: str) -> None:
+    def count(self, *counters: str) -> None:
+        """Increment one or more counters under a single lock acquisition.
+
+        Multi-counter bumps (e.g. a request counter plus its outcome
+        counter) are atomic as a group: a concurrent reader can never
+        observe one without the other, and concurrent writers can never
+        lose increments to a read-modify-write race.
+        """
         with self._lock:
-            setattr(self, counter, getattr(self, counter) + 1)
+            for counter in counters:
+                setattr(self, counter, getattr(self, counter) + 1)
 
     def merge(self, deltas: Dict[str, int]) -> None:
         """Fold another stats snapshot (or delta) into these counters.
@@ -558,9 +568,34 @@ class EvaluationCache:
         *fingerprint* (when given) stamps the snapshot with the identity
         of the specification the memos were computed under, so
         :meth:`load` can refuse a snapshot from a different one.
+
+        The write is *atomic at the published path*: the state is dumped
+        to a same-directory temporary file which is ``os.replace``\\ d
+        into place only after the dump (and an fsync) completed.  A
+        writer killed mid-``pickle.dump`` — the normal way a replica
+        dies while shipping its snapshot — can therefore never leave a
+        truncated artifact where a booting replica will look for one;
+        the previous snapshot, if any, survives untouched.
         """
-        with open(path, "wb") as handle:
-            pickle.dump(self.snapshot_state(fingerprint), handle)
+        path = os.fspath(path)
+        directory = os.path.dirname(path) or "."
+        handle, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(self.snapshot_state(fingerprint), stream)
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(temp_path, path)
+        except BaseException:
+            # Never leave the partial dump behind: the temp file is
+            # garbage by construction (it was not replaced into place).
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
         return self.size_report()
 
     def load(self, path, fingerprint: Optional[str] = None) -> Dict[str, int]:
@@ -577,8 +612,25 @@ class EvaluationCache:
         to different values (``CertainAnswerEngine.load_cache`` always
         passes one).
         """
-        with open(path, "rb") as handle:
-            state = pickle.load(handle)
+        try:
+            with open(path, "rb") as handle:
+                state = pickle.load(handle)
+        except (
+            EOFError,  # truncated mid-stream (pre-atomic-save artifacts)
+            pickle.UnpicklingError,  # garbage bytes / corrupted frames
+            AttributeError,  # foreign-class pickle: class no longer resolvable
+            ImportError,  # foreign-class pickle: module no longer importable
+            IndexError,
+            KeyError,
+            UnicodeDecodeError,
+        ) as error:
+            # Same refusal path as a fingerprint mismatch: a warm-boot
+            # replica catches ValueError and degrades to a cold start
+            # instead of crashing on a corrupt or foreign artifact.
+            raise ValueError(
+                f"{path} is not a readable evaluation-cache snapshot "
+                f"({type(error).__name__}: {error}); refusing it"
+            ) from error
         if not isinstance(state, dict) or state.get("magic") != SNAPSHOT_MAGIC:
             raise ValueError(f"{path} is not an evaluation-cache snapshot")
         if state.get("version") != SNAPSHOT_VERSION:

@@ -74,6 +74,36 @@ class ExplanationError(ReproError):
     """Problems raised by the explanation framework (``repro.core``)."""
 
 
+class GatewayError(ReproError):
+    """Problems raised by the async serving gateway (``repro.gateway``)."""
+
+
+class GatewayOverloaded(GatewayError):
+    """The gateway shed a request because admission control is saturated.
+
+    The 503-style fast-fail: raised *before* any evaluation work is
+    queued, so callers can retry against another replica immediately.
+    ``status`` carries the HTTP-equivalent code for transport layers.
+    """
+
+    status = 503
+
+
+class GatewayTimeout(GatewayError):
+    """A request's per-call timeout elapsed before its evaluation finished.
+
+    The underlying (possibly coalesced) evaluation keeps running to
+    completion — the session is never left half-built and later
+    requests for the same key are served warm.
+    """
+
+    status = 504
+
+
+class UnknownTenantError(GatewayError):
+    """A gateway request named a tenant no builder was registered for."""
+
+
 class CriterionError(ExplanationError):
     """A criterion function was mis-configured or returned a bad value."""
 

@@ -28,6 +28,7 @@ from .scalability import (
 )
 from .batch_kernel_exp import run_batch_labelings
 from .database_drift_exp import run_database_drift
+from .gateway_exp import run_gateway_serving
 from .kernel_exp import run_match_kernel
 from .service_exp import run_service_warm
 from .tables import ExperimentResult
@@ -49,6 +50,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "E12": run_match_kernel,
     "E13": lambda: run_batch_labelings(applicants=24, candidate_pool=20, labeled_per_side=8, labelings=4, rounds=2),
     "E14": run_database_drift,
+    "E15": run_gateway_serving,
 }
 
 

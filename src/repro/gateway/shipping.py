@@ -1,0 +1,262 @@
+"""Snapshot shipping: replicas boot warm from another replica's cache.
+
+Fleet scale-out with cold starts wastes exactly the work the engine
+exists to avoid: a new replica would re-chase, re-retrieve and re-match
+everything the fleet already knows.  Shipping moves a donor replica's
+:meth:`~repro.service.ExplanationService.save` artifact to the new
+replica, whose first request then runs at warm-cache speed.
+
+Two transports, both ending in the same ``load()``:
+
+* **file handoff** — :func:`boot_warm` loads a snapshot path a deployer
+  placed next to the process (shared volume, object store download).
+  Missing, truncated, garbage or foreign-content artifacts *degrade to
+  a cold start* (the load refuses with ``ValueError``, never crashes
+  the boot) — the corrupt-snapshot refusal contract pinned in
+  ``tests/gateway/test_snapshot_lifecycle.py``;
+* **asyncio stream** — a donor runs :class:`SnapshotDonor` and a
+  booting replica calls :func:`fetch_snapshot` /
+  :func:`boot_from_donor`.  The wire format is deliberately dumb: one
+  request line (the tenant name), one magic line, one JSON header
+  (content fingerprint + payload size), then the raw snapshot bytes.
+  The header fingerprint lets a receiver refuse incompatible donors
+  before downloading the payload into its cache.
+
+Atomicity discipline: the donor snapshots through the cache's atomic
+``save`` (temp file + ``os.replace``), and the receiver downloads to a
+same-directory temp file and replaces it into place — a replica killed
+mid-fetch can never leave a truncated artifact where the next boot will
+look for one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+from typing import Dict, Optional, Union
+
+from ..errors import GatewayError
+from ..service import ExplanationService
+from .registry import ServiceRegistry
+from .stats import GatewayStats
+
+SHIP_MAGIC = b"repro-snapshot-ship/1"
+
+#: Upper bound on the JSON header line; anything longer is not ours.
+_MAX_HEADER = 64 * 1024
+
+ServiceSource = Union[ExplanationService, ServiceRegistry]
+
+
+# -- file handoff -----------------------------------------------------------
+
+
+def boot_warm(
+    service: ExplanationService, path, stats: Optional[GatewayStats] = None
+) -> Dict[str, object]:
+    """Load a shipped snapshot into *service*, degrading to a cold start.
+
+    Returns ``{"warm": True, "loaded": {layer: survivors}}`` on success
+    and ``{"warm": False, "reason": ...}`` when the artifact is missing,
+    unreadable, corrupt, or was produced by a replica over different
+    content — every refusal the cache's ``load`` expresses as
+    ``ValueError`` plus the filesystem's ``OSError`` family.  A boot can
+    therefore never crash on a bad snapshot; it just starts cold.
+    """
+    try:
+        loaded = service.load(path)
+    except (ValueError, OSError) as error:
+        if stats is not None:
+            stats.count("cold_boots")
+        return {"warm": False, "reason": f"{type(error).__name__}: {error}"}
+    if stats is not None:
+        stats.count("warm_boots")
+    return {"warm": True, "loaded": loaded}
+
+
+def snapshot_to_bytes(service: ExplanationService) -> bytes:
+    """The service's snapshot artifact as bytes (exactly what ``save`` writes).
+
+    Goes through the atomic ``save`` into a private temp file rather
+    than re-implementing the serialization, so the shipped bytes are
+    byte-identical to a local snapshot and carry the same fingerprint
+    stamp.
+    """
+    handle, path = tempfile.mkstemp(prefix="repro_ship_", suffix=".snapshot")
+    os.close(handle)
+    try:
+        service.save(path)
+        with open(path, "rb") as stream:
+            return stream.read()
+    finally:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+# -- the donor side ---------------------------------------------------------
+
+
+class SnapshotDonor:
+    """Serves this replica's warm snapshots to booting replicas.
+
+    *source* is either one :class:`ExplanationService` (single-tenant
+    donor; the request's tenant line is ignored) or a
+    :class:`ServiceRegistry` (the tenant line selects whose snapshot to
+    ship).  ``stats.snapshots_shipped`` counts successful transfers.
+    """
+
+    def __init__(self, source: ServiceSource, stats: Optional[GatewayStats] = None):
+        self._source = source
+        self.stats = stats if stats is not None else GatewayStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> "tuple[str, int]":
+        """Start listening; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def _resolve(self, tenant: str) -> ExplanationService:
+        if isinstance(self._source, ServiceRegistry):
+            return self._source.service(tenant)
+        return self._source
+
+    async def _handle(self, reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter") -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            tenant = (await reader.readline()).decode("utf-8", "replace").strip()
+            try:
+                service = self._resolve(tenant)
+                # Snapshotting walks the whole memo state: off the loop.
+                payload = await loop.run_in_executor(None, snapshot_to_bytes, service)
+            except Exception as error:  # ship the refusal, not a hang
+                header = {"error": f"{type(error).__name__}: {error}"}
+                writer.write(SHIP_MAGIC + b"\n")
+                writer.write(json.dumps(header).encode("utf-8") + b"\n")
+                await writer.drain()
+                return
+            header = {
+                "fingerprint": service.content_fingerprint(),
+                "size": len(payload),
+                "tenant": tenant,
+            }
+            writer.write(SHIP_MAGIC + b"\n")
+            writer.write(json.dumps(header).encode("utf-8") + b"\n")
+            writer.write(payload)
+            await writer.drain()
+            self.stats.count("snapshots_shipped")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+# -- the receiving side -----------------------------------------------------
+
+
+async def fetch_snapshot(host: str, port: int, path, tenant: str = "") -> Dict[str, object]:
+    """Download a donor's snapshot to *path* (atomically); returns the header.
+
+    Raises :class:`~repro.errors.GatewayError` when the peer does not
+    speak the shipping protocol, reports an error, or closes the stream
+    before delivering the advertised payload — in which case nothing is
+    written at *path*.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(tenant.encode("utf-8") + b"\n")
+        await writer.drain()
+        magic = (await reader.readline()).rstrip(b"\r\n")
+        if magic != SHIP_MAGIC:
+            raise GatewayError(
+                f"peer {host}:{port} did not speak snapshot shipping "
+                f"(got {magic[:32]!r})"
+            )
+        header_line = await reader.readline()
+        if len(header_line) > _MAX_HEADER:
+            raise GatewayError(f"peer {host}:{port} sent an oversized header")
+        try:
+            header = json.loads(header_line.decode("utf-8"))
+        except ValueError as error:
+            raise GatewayError(f"unreadable shipping header: {error}") from error
+        if "error" in header:
+            raise GatewayError(f"donor refused to ship: {header['error']}")
+        size = header.get("size")
+        if not isinstance(size, int) or size < 0:
+            raise GatewayError(f"shipping header advertises no size: {header!r}")
+        try:
+            payload = await reader.readexactly(size)
+        except asyncio.IncompleteReadError as error:
+            raise GatewayError(
+                f"donor stream ended after {len(error.partial)}/{size} bytes"
+            ) from error
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    handle, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(payload)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    return header
+
+
+async def boot_from_donor(
+    service: ExplanationService,
+    host: str,
+    port: int,
+    tenant: str = "",
+    stats: Optional[GatewayStats] = None,
+) -> Dict[str, object]:
+    """Fetch a donor's snapshot over the wire and warm-boot *service*.
+
+    The whole path degrades to a cold start: transport failures and
+    refused artifacts both produce ``{"warm": False, "reason": ...}``.
+    On success the result carries the donor's header plus the per-layer
+    survivor counts from the merge.
+    """
+    handle, path = tempfile.mkstemp(prefix="repro_boot_", suffix=".snapshot")
+    os.close(handle)
+    try:
+        try:
+            header = await fetch_snapshot(host, port, path, tenant)
+        except (GatewayError, OSError) as error:
+            if stats is not None:
+                stats.count("cold_boots")
+            return {"warm": False, "reason": f"{type(error).__name__}: {error}"}
+        result = boot_warm(service, path, stats=stats)
+        if result["warm"]:
+            result["donor"] = header
+        return result
+    finally:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass

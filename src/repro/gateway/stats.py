@@ -1,0 +1,113 @@
+"""Gateway observability: request counters, queue depth, latency percentiles.
+
+:class:`GatewayStats` extends the locked-counter machinery of
+:class:`~repro.engine.cache.CacheStats` with the two kinds of state a
+serving front end needs beyond monotone counters:
+
+* a **queue-depth high-water mark** — the deepest the admission-control
+  pending set ever got, the number an operator compares against
+  ``max_pending`` to know how close the gateway ran to shedding;
+* a **latency reservoir** — a bounded ring of recent request latencies
+  from which :meth:`GatewayStats.latency_percentiles` derives p50/p99
+  (the benchmark gate's tail-latency numbers come from here).
+
+Both are updated under the same lock as the counters, so a stats
+snapshot is always internally consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, Optional
+
+from ..engine.cache import CacheStats
+
+#: How many recent latencies the percentile reservoir keeps.  Old
+#: samples age out, so percentiles track the *current* serving regime
+#: rather than averaging over a replica's whole lifetime.
+LATENCY_RESERVOIR = 4096
+
+
+class GatewayStats(CacheStats):
+    """Counters + latency/queue observability for one gateway instance.
+
+    Counter groups:
+
+    * request path — ``requests``, ``coalesced_hits`` (followers that
+      attached to an in-flight evaluation), ``completed``, ``errors``;
+    * admission control — ``shed_requests`` (503-style fast fails),
+      ``timeouts``, ``cancelled``;
+    * registry lifecycle — ``service_builds``, ``service_reuses``,
+      ``evictions`` (LRU-dropped warm services);
+    * snapshot shipping — ``snapshots_shipped`` (donor side),
+      ``warm_boots`` / ``cold_boots`` (replica side).
+    """
+
+    _COUNTERS = (
+        "requests",
+        "coalesced_hits",
+        "completed",
+        "errors",
+        "shed_requests",
+        "timeouts",
+        "cancelled",
+        "service_builds",
+        "service_reuses",
+        "evictions",
+        "snapshots_shipped",
+        "warm_boots",
+        "cold_boots",
+    )
+
+    def __init__(self):
+        super().__init__()
+        self.queue_depth_high_water = 0
+        self._latencies = deque(maxlen=LATENCY_RESERVOIR)
+
+    # -- observations ------------------------------------------------------
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Record the pending-set depth after an admission."""
+        with self._lock:
+            if depth > self.queue_depth_high_water:
+                self.queue_depth_high_water = depth
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one completed request's wall-clock latency."""
+        with self._lock:
+            self._latencies.append(seconds)
+
+    # -- derived views -----------------------------------------------------
+
+    def latency_percentiles(self) -> Dict[str, Optional[float]]:
+        """``{"p50": ..., "p99": ..., "samples": n}`` over the reservoir.
+
+        Percentiles are ``None`` until at least one latency was
+        observed.  The nearest-rank method keeps the numbers honest on
+        small samples (no interpolation beyond observed values).
+        """
+        with self._lock:
+            samples = sorted(self._latencies)
+        if not samples:
+            return {"p50": None, "p99": None, "samples": 0}
+
+        def nearest_rank(quantile: float) -> float:
+            rank = max(1, math.ceil(quantile * len(samples)))
+            return samples[rank - 1]
+
+        return {
+            "p50": nearest_rank(0.50),
+            "p99": nearest_rank(0.99),
+            "samples": len(samples),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        report: Dict[str, object] = super().as_dict()
+        report["queue_depth_high_water"] = self.queue_depth_high_water
+        report.update(
+            (f"latency_{key}", value)
+            for key, value in self.latency_percentiles().items()
+            if key != "samples"
+        )
+        return report

@@ -196,6 +196,13 @@ class ExplanationService:
             stats=self.cache.stats,
         )
         self._evaluators: Dict[int, MatchEvaluator] = {}
+        # Evaluator creation is a check-then-set on a plain dict; under
+        # concurrent explain() callers (the gateway's normal traffic
+        # shape) two threads could each build an evaluator for the same
+        # radius and race the insert.  A dedicated lock keeps one
+        # evaluator per radius without re-entering the session guard
+        # (which _resolve_session holds while calling evaluator()).
+        self._evaluator_guard = threading.Lock()
         # Session resolution is a non-atomic lookup → diff → drift → put
         # sequence; one lock makes it atomic so concurrent requests can
         # never race two drifts from the same predecessor or interleave
@@ -238,12 +245,21 @@ class ExplanationService:
         return report
 
     def evaluator(self, radius: Optional[int] = None) -> MatchEvaluator:
-        """The shared J-match evaluator of one radius (created once)."""
+        """The shared J-match evaluator of one radius (created once).
+
+        Thread-safe: concurrent callers of the same radius always
+        receive the *same* instance (double-checked under
+        ``_evaluator_guard``), so warm sessions never end up split
+        across racing evaluator identities.
+        """
         radius = self.radius if radius is None else radius
         evaluator = self._evaluators.get(radius)
         if evaluator is None:
-            evaluator = MatchEvaluator(self.system, radius, self._border_computer)
-            self._evaluators[radius] = evaluator
+            with self._evaluator_guard:
+                evaluator = self._evaluators.get(radius)
+                if evaluator is None:
+                    evaluator = MatchEvaluator(self.system, radius, self._border_computer)
+                    self._evaluators[radius] = evaluator
         return evaluator
 
     # -- persistence -------------------------------------------------------
@@ -260,6 +276,17 @@ class ExplanationService:
         """
         engine = self.system.specification.engine
         return f"{engine.cache_fingerprint()}:{self.system.database.fingerprint()}"
+
+    def content_fingerprint(self) -> str:
+        """Public identity of this service's servable content.
+
+        The hash snapshots are stamped with (specification + database
+        fingerprints); the gateway's
+        :class:`~repro.gateway.registry.ServiceRegistry` keys live
+        instances by it, and snapshot shipping advertises it so a
+        receiving replica can check compatibility before loading.
+        """
+        return self._snapshot_fingerprint()
 
     def save(self, path) -> Dict[str, int]:
         """Snapshot the shared cache so a restarted service starts warm.
@@ -464,10 +491,13 @@ class ExplanationService:
         across cold, warm, drifted and reloaded services).
         """
         radius = self.radius if radius is None else radius
-        self.stats.count("requests")
         session, how = self._session_for(labeling, radius)
+        # One atomic bump for the request and its outcome: concurrent
+        # explain() callers (the gateway) must never observe — or lose —
+        # a request whose outcome counter is missing.
         self.stats.count(
-            {"warm": "warm_hits", "drift": "drift_updates", "cold": "cold_builds"}[how]
+            "requests",
+            {"warm": "warm_hits", "drift": "drift_updates", "cold": "cold_builds"}[how],
         )
         expression = expression or self.expression
         search = BestDescriptionSearch(
