@@ -130,13 +130,20 @@ class BorderComputer:
     # -- layer computation ---------------------------------------------------
 
     def layers(self, raw: RawTuple, radius: int) -> List[FrozenSet[Atom]]:
-        """The frontiers ``W_{t,0}, ..., W_{t,radius}`` as a list."""
+        """The frontiers ``W_{t,0}, ..., W_{t,radius}`` as a list.
+
+        Each BFS frontier expands through **one** batched by-constant
+        lookup (:meth:`~repro.obdm.database.SourceDatabase.facts_with_any_constant`)
+        instead of one lookup per constant: on the in-memory backend
+        that is the same union of index buckets, on a disk backend it is
+        a handful of ``IN`` queries instead of hundreds of round trips —
+        borders are computed per-individual from indexed point lookups
+        either way, never from whole-database scans.
+        """
         if radius < 0:
             raise ExplanationError(f"radius must be a natural number, got {radius}")
         key = normalize_tuple(raw)
-        initial: Set[Atom] = set()
-        for constant in key:
-            initial |= self.database.facts_with_constant(constant)
+        initial: Set[Atom] = set(self.database.facts_with_any_constant(key))
         layers: List[FrozenSet[Atom]] = [frozenset(initial)]
         seen_atoms: Set[Atom] = set(initial)
         seen_constants: Set[Constant] = set(key)
@@ -145,14 +152,14 @@ class BorderComputer:
 
         frontier = initial
         for _ in range(radius):
-            next_frontier: Set[Atom] = set()
             frontier_constants: Set[Constant] = set()
             for atom in frontier:
                 frontier_constants |= atom.constants()
-            for constant in frontier_constants:
-                for candidate in self.database.facts_with_constant(constant):
-                    if candidate not in seen_atoms:
-                        next_frontier.add(candidate)
+            next_frontier: Set[Atom] = {
+                candidate
+                for candidate in self.database.facts_with_any_constant(frontier_constants)
+                if candidate not in seen_atoms
+            }
             layers.append(frozenset(next_frontier))
             seen_atoms |= next_frontier
             frontier = next_frontier

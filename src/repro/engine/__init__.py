@@ -147,6 +147,37 @@ components:
     ``benchmarks/bench_database_drift.py`` gates a ≥3× update-vs-cold
     speedup on a streaming-updates workload.
 
+**Out-of-core storage** (:class:`~repro.engine.cache.SpillPolicy` and
+:mod:`repro.obdm.backend`)
+    The layer *under* all of the above: where facts live.  The source
+    database delegates storage to a pluggable
+    :class:`~repro.obdm.backend.StorageBackend` — the default
+    ``MemoryBackend`` is the seed's dict indexes verbatim, while
+    ``SQLiteBackend`` keeps facts in an indexed SQLite store (on disk
+    or ``:memory:``), compiles CQ/SQL/algebra mapping sources to single
+    pushed-down SQL statements
+    (:meth:`~repro.obdm.database.SourceDatabase.execute_pushdown`,
+    falling back per assertion on
+    :class:`~repro.obdm.backend.PushdownUnsupported`), and streams
+    mapping application (:meth:`~repro.obdm.mapping.Mapping.iter_apply`)
+    and border retrieval
+    (:meth:`~repro.obdm.database.SourceDatabase.facts_with_any_constant`,
+    one batched ``IN`` lookup per BFS frontier) so the Python heap never
+    materialises the fact set.  Fingerprints, deltas, snapshot stamping
+    and every engine layer behave identically over either backend
+    (suite ``tests/obdm/test_backends.py``, marker ``backend``).  On
+    the engine side, ``engine.kernel.spill.enabled``
+    (:class:`~repro.engine.cache.SpillPolicy`, default off) moves the
+    :class:`~repro.engine.kernel.UnifiedBorderIndex`'s columnar
+    argument/provenance arrays into memory-mapped temp files
+    (:class:`~repro.engine.kernel.SpillArgsRows` /
+    :class:`~repro.engine.kernel.SpillMaskRows`) — same layout and row
+    ids, byte-identical rankings
+    (``tests/engine/test_spill_index.py``).  Experiment ``E16`` and
+    ``benchmarks/bench_out_of_core.py`` gate a ≥10× workload served on
+    the SQLite backend with a Python-heap allocation peak strictly
+    below the in-memory baseline and identical rankings.
+
 :class:`~repro.engine.batch.BatchExplainer`
     Concurrent batch scoring of candidate pools across one or many
     labelings via :mod:`concurrent.futures`, with deterministic result
@@ -187,9 +218,10 @@ gates a ≥3× criteria-phase speedup of the verdict-matrix path over the
 legacy per-pair path (toggle via ``VerdictPolicy.enabled``); both
 assert byte-identical rankings.
 
-Next scaling steps this substrate unlocks (see ROADMAP.md): async
-serving of explanation requests with a warm shared cache, and
-out-of-core (SQL-pushdown) backends for beyond-RAM ABoxes.
+Next scaling steps this substrate unlocks (see ROADMAP.md): a network
+transport over the asyncio gateway (HTTP/MCP tool surface, replica
+topologies) and scenario diversity via an ontology importer plus
+parameterised synthetic workload scaling.
 """
 
 from __future__ import annotations
@@ -202,9 +234,10 @@ from .cache import (
     EvaluationCache,
     KernelPolicy,
     LRUStore,
+    SpillPolicy,
     VerdictPolicy,
 )
-from .kernel import PoolMatchKernel, UnifiedBorderIndex
+from .kernel import PoolMatchKernel, SpillArgsRows, SpillMaskRows, UnifiedBorderIndex
 
 __all__ = [
     "BatchExplainer",
@@ -219,6 +252,9 @@ __all__ = [
     "LRUStore",
     "MultiLabelingBatchKernel",
     "PoolMatchKernel",
+    "SpillArgsRows",
+    "SpillMaskRows",
+    "SpillPolicy",
     "UnifiedBorderIndex",
     "VerdictMatrix",
     "VerdictPolicy",
@@ -229,8 +265,8 @@ _LAZY_MODULES = {
     # repro.engine.verdicts pulls in repro.core, which itself imports
     # repro.obdm.certain_answers → repro.engine.cache; loading them
     # eagerly here would close that loop during package initialisation.
-    # (repro.engine.kernel only imports repro.queries, so it loads
-    # eagerly above.)
+    # (repro.engine.kernel only imports repro.queries and the
+    # engine-free repro.obdm.backend codec, so it loads eagerly above.)
     "BatchExplainer": "batch",
     "BitsetVerdictProfile": "verdicts",
     "BorderColumns": "verdicts",

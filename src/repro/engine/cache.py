@@ -130,14 +130,20 @@ class KernelPolicy:
     independently: ``kernel.enabled=False`` forces per-pair rows
     regardless of the batch flag, and ``kernel.batch.enabled=False``
     keeps the PR-5 per-labeling kernel as the row builder.
+    ``kernel.spill`` nests the out-of-core spill switch
+    (:class:`SpillPolicy`) for the unified index's columnar arrays.
     """
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.batch = BatchKernelPolicy()
+        self.spill = SpillPolicy()
 
     def __str__(self):
-        return f"KernelPolicy(enabled={self.enabled}, batch={self.batch})"
+        return (
+            f"KernelPolicy(enabled={self.enabled}, batch={self.batch}, "
+            f"spill={self.spill})"
+        )
 
 
 class BatchKernelPolicy:
@@ -166,6 +172,31 @@ class BatchKernelPolicy:
 
     def __str__(self):
         return f"BatchKernelPolicy(enabled={self.enabled})"
+
+
+class SpillPolicy:
+    """Switch for the unified index's spill-to-disk columnar storage.
+
+    When ``enabled``, every :class:`~repro.engine.kernel.UnifiedBorderIndex`
+    built by the match kernel stores its per-predicate argument rows and
+    provenance bitsets in memory-mapped temporary files
+    (:class:`~repro.engine.kernel.SpillArgsRows` /
+    :class:`~repro.engine.kernel.SpillMaskRows`) instead of Python
+    lists — same layout, same row ids, same narrowing index, so joins
+    and supports are byte-identical while the fact payload no longer
+    scales the Python heap.  Off by default: the in-memory lists are
+    faster and right whenever the merged borders fit comfortably in
+    RAM.  Toggled as ``specification.engine.kernel.spill.enabled``, in
+    the same style as every other engine switch;
+    ``tests/engine/test_spill_index.py`` pins the on/off differential
+    and ``benchmarks/bench_out_of_core.py`` exercises it at scale.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+
+    def __str__(self):
+        return f"SpillPolicy(enabled={self.enabled})"
 
 
 class DeltaPolicy:

@@ -30,6 +30,7 @@ from .batch_kernel_exp import run_batch_labelings
 from .database_drift_exp import run_database_drift
 from .gateway_exp import run_gateway_serving
 from .kernel_exp import run_match_kernel
+from .out_of_core_exp import run_out_of_core
 from .service_exp import run_service_warm
 from .tables import ExperimentResult
 
@@ -51,6 +52,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "E13": lambda: run_batch_labelings(applicants=24, candidate_pool=20, labeled_per_side=8, labelings=4, rounds=2),
     "E14": run_database_drift,
     "E15": run_gateway_serving,
+    "E16": lambda: run_out_of_core(base_applicants=24, scale=5, candidate_pool=16, labeled_per_side=8),
 }
 
 

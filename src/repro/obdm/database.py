@@ -2,27 +2,34 @@
 
 The paper (Section 2) defines an ``S``-database as a finite set of atoms
 ``s(c)`` where ``s`` is a predicate of ``S``.  :class:`SourceDatabase`
-stores exactly that, and additionally maintains two indexes needed by
-the explanation framework:
+stores exactly that behind a pluggable :class:`~repro.obdm.backend.StorageBackend`
+(``backend="memory"`` keeps the seed's dict layout; ``backend="sqlite"``
+keeps facts on disk and pushes mapping source queries down as SQL), and
+maintains the two access paths the explanation framework needs:
 
-* a by-predicate index, used by query evaluation;
-* a by-constant index (constant → atoms mentioning it), which makes the
+* a by-predicate lookup, used by query evaluation;
+* a by-constant lookup (constant → atoms mentioning it), which makes the
   border computation of Definition 3.2 a sequence of index lookups
-  instead of database scans.
+  instead of database scans (:meth:`facts_with_any_constant` batches a
+  whole BFS frontier into one backend round trip).
 
 Production traffic mutates the database, so the class also supports
 **fact-level deltas**: :class:`DatabaseDelta` carries a normalised set
 of added/removed ground atoms and :meth:`SourceDatabase.apply_delta`
-applies it in place, maintaining both indexes and a **content
+applies it in place, maintaining the backend and a **content
 fingerprint**.  The fingerprint is an order-independent XOR accumulator
 of per-fact digests over a *canonical, type-tagged* serialisation
 (sha256 — never Python's salted ``hash()``), so two databases hold the
-same fingerprint iff they hold the same fact set, across processes and
-restarts.  Derived databases (:meth:`restrict_to`, :meth:`copy`,
-:meth:`from_catalog`, :meth:`from_rows`) re-insert their facts through
-:meth:`add_fact` and therefore carry consistent fingerprints for free.
-The engine's delta path (``repro.engine`` / ``repro.service``) uses the
-fingerprint to keep cache snapshots honest across database drift.
+same fingerprint iff they hold the same fact set, across processes,
+restarts *and storage backends*: the accumulator lives here, is bumped
+around :meth:`~repro.obdm.backend.StorageBackend.add` /
+:meth:`~repro.obdm.backend.StorageBackend.remove`, and therefore never
+depends on how the backend lays facts out.  Derived databases
+(:meth:`restrict_to`, :meth:`copy`, :meth:`from_catalog`,
+:meth:`from_rows`) re-insert their facts through :meth:`add_fact` and
+carry consistent fingerprints for free.  The engine's delta path
+(``repro.engine`` / ``repro.service``) uses the fingerprint to keep
+cache snapshots honest across database drift.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from ..errors import SchemaError, UnknownRelationError
 from ..queries.atoms import Atom
 from ..queries.terms import Constant
 from ..sql.catalog import Catalog
+from .backend import BackendSpec, StorageBackend, resolve_backend
 from .schema import RelationSignature, SourceSchema
 
 Value = Union[str, int, float, bool]
@@ -127,22 +135,63 @@ class SourceDatabase:
         facts: Iterable[Atom] = (),
         name: str = "D",
         strict: bool = True,
+        backend: BackendSpec = None,
     ):
         """Create a database.
 
         With ``strict=True`` (the default) every fact must use a relation
         declared in *schema* with the right arity; with ``strict=False``
         unknown relations are auto-declared with synthetic attributes.
+        *backend* selects the storage layer: ``None``/``"memory"`` for
+        the in-memory dict layout, ``"sqlite"`` for the on-disk backend,
+        or a ready :class:`~repro.obdm.backend.StorageBackend` instance.
         """
         self.name = name
         self.schema = schema if schema is not None else SourceSchema()
         self._strict = strict and schema is not None
-        self._facts: Set[Atom] = set()
-        self._by_predicate: Dict[str, Set[Atom]] = {}
-        self._by_constant: Dict[Constant, Set[Atom]] = {}
+        self._backend: StorageBackend = resolve_backend(backend)
         self._fingerprint = 0
         for fact in facts:
             self.add_fact(fact)
+
+    # -- storage backend -------------------------------------------------
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The storage backend holding the fact set."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """The backend kind (``"memory"`` or ``"sqlite"``)."""
+        return self._backend.kind
+
+    def supports_pushdown(self) -> bool:
+        """Whether mapping source queries can run inside the backend."""
+        return bool(getattr(self._backend, "supports_pushdown", False))
+
+    def execute_pushdown(self, source_query) -> Iterator[Tuple[Value, ...]]:
+        """Stream a source query's answers from the backend (SQL pushdown).
+
+        Raises :class:`~repro.obdm.backend.PushdownUnsupported` (before
+        the first row) when the query has no SQL translation; callers
+        fall back to the in-memory executor.
+        """
+        return self._backend.execute_source(source_query, self.schema)
+
+    def with_backend(self, backend: BackendSpec, name: Optional[str] = None) -> "SourceDatabase":
+        """A copy of this database on a different storage backend.
+
+        The copy re-inserts every fact through :meth:`add_fact`, so its
+        fingerprint matches this database's by construction.
+        """
+        return SourceDatabase(
+            self.schema,
+            self._backend.iter_facts(),
+            name or self.name,
+            strict=False,
+            backend=backend,
+        )
 
     # -- mutation --------------------------------------------------------
 
@@ -167,30 +216,16 @@ class SourceDatabase:
         self._validate_fact(fact)
         if not self.schema.has_relation(fact.predicate):
             self.schema.declare_arity(fact.predicate, fact.arity)
-        if fact in self._facts:
+        if not self._backend.add(fact):
             return
-        self._facts.add(fact)
-        self._by_predicate.setdefault(fact.predicate, set()).add(fact)
-        for argument in fact.args:
-            self._by_constant.setdefault(argument, set()).add(fact)
         self._fingerprint ^= _fact_digest(fact)
 
     def remove_fact(self, fact: Atom) -> None:
-        """Delete a fact, maintaining both indexes and the fingerprint."""
-        if fact not in self._facts:
+        """Delete a fact, maintaining the backend and the fingerprint."""
+        if not self._backend.remove(fact):
             raise SchemaError(
                 f"cannot remove fact {fact}: not in database {self.name!r}"
             )
-        self._facts.discard(fact)
-        bucket = self._by_predicate[fact.predicate]
-        bucket.discard(fact)
-        if not bucket:
-            del self._by_predicate[fact.predicate]
-        for argument in set(fact.args):
-            owners = self._by_constant[argument]
-            owners.discard(fact)
-            if not owners:
-                del self._by_constant[argument]
         self._fingerprint ^= _fact_digest(fact)
 
     def apply_delta(self, delta: DatabaseDelta) -> "SourceDatabase":
@@ -203,7 +238,7 @@ class SourceDatabase:
         indexed/unindexed.
         """
         for fact in delta.removed:
-            if fact not in self._facts:
+            if fact not in self._backend:
                 raise SchemaError(
                     f"delta removes fact {fact} not present in database {self.name!r}"
                 )
@@ -221,10 +256,11 @@ class SourceDatabase:
         Equal iff the fact sets are equal (order-independent XOR of
         per-fact sha256 digests, prefixed with the fact count), so
         derived databases built from the same facts — ``copy()``,
-        ``restrict_to`` over all facts, ``from_catalog`` round trips —
-        report the same fingerprint, and any applied delta bumps it.
+        ``restrict_to`` over all facts, ``from_catalog`` round trips,
+        :meth:`with_backend` conversions — report the same fingerprint,
+        and any applied delta bumps it.
         """
-        return f"{len(self._facts):x}.{self._fingerprint & _DIGEST_MASK:032x}"
+        return f"{len(self._backend):x}.{self._fingerprint & _DIGEST_MASK:032x}"
 
     def add(self, predicate: str, *values: Value) -> Atom:
         """Insert ``predicate(values...)`` and return the created fact."""
@@ -240,43 +276,74 @@ class SourceDatabase:
 
     @property
     def facts(self) -> FrozenSet[Atom]:
-        return frozenset(self._facts)
+        """The full fact set, materialised.
+
+        Streaming consumers (mapping pushdown, border expansion) avoid
+        this property — on a disk backend it loads every fact into
+        Python.  Use :meth:`iter_facts` to stream instead.
+        """
+        return frozenset(self._backend.iter_facts())
+
+    def iter_facts(self) -> Iterator[Atom]:
+        """Stream the fact set without materialising it."""
+        return self._backend.iter_facts()
 
     def facts_with_predicate(self, predicate: str) -> FrozenSet[Atom]:
-        return frozenset(self._by_predicate.get(predicate, set()))
+        return self._backend.facts_with_predicate(predicate)
 
     def facts_with_constant(self, constant: Union[Constant, Value]) -> FrozenSet[Atom]:
         """Atoms in which *constant* occurs — the primitive behind borders."""
         if not isinstance(constant, Constant):
             constant = Constant(constant)
-        return frozenset(self._by_constant.get(constant, set()))
+        return self._backend.facts_with_constant(constant)
+
+    def facts_with_any_constant(
+        self, constants: Iterable[Union[Constant, Value]]
+    ) -> FrozenSet[Atom]:
+        """Atoms mentioning any of *constants*, in one batched lookup.
+
+        The border computer expands whole BFS frontiers through this —
+        on the SQLite backend a frontier costs a handful of ``IN``
+        queries instead of one query per constant.
+        """
+        normalised = [
+            constant if isinstance(constant, Constant) else Constant(constant)
+            for constant in constants
+        ]
+        return self._backend.facts_with_any_constant(normalised)
 
     def domain(self) -> FrozenSet[Constant]:
         """The active domain ``dom(D)``: every constant occurring in ``D``."""
-        return frozenset(self._by_constant)
+        return self._backend.domain()
 
     def domain_values(self) -> FrozenSet[Value]:
         """The active domain as raw Python values."""
-        return frozenset(constant.value for constant in self._by_constant)
+        return frozenset(constant.value for constant in self._backend.domain())
 
     def predicates(self) -> FrozenSet[str]:
-        return frozenset(self._by_predicate)
+        return self._backend.predicates()
 
     def __len__(self) -> int:
-        return len(self._facts)
+        return len(self._backend)
 
     def __iter__(self) -> Iterator[Atom]:
-        return iter(sorted(self._facts))
+        return iter(sorted(self._backend.iter_facts()))
 
     def __contains__(self, fact: Atom) -> bool:
-        return fact in self._facts
+        return fact in self._backend
 
     # -- derived databases ----------------------------------------------------
 
     def restrict_to(self, facts: Iterable[Atom], name: Optional[str] = None) -> "SourceDatabase":
-        """Sub-database induced by a subset of facts (e.g. a border)."""
+        """Sub-database induced by a subset of facts (e.g. a border).
+
+        The result always lives on the in-memory backend: borders and
+        their retrieved ABoxes are small by construction, and keeping
+        them in memory preserves the seed's evaluation path regardless
+        of where the parent database stores its facts.
+        """
         subset = set(facts)
-        unknown = subset - self._facts
+        unknown = [fact for fact in subset if fact not in self._backend]
         if unknown:
             raise SchemaError(
                 f"cannot restrict {self.name!r} to facts not in the database: "
@@ -285,14 +352,21 @@ class SourceDatabase:
         return SourceDatabase(self.schema, subset, name or f"{self.name}|restricted", strict=False)
 
     def copy(self, name: Optional[str] = None) -> "SourceDatabase":
-        return SourceDatabase(self.schema, self._facts, name or self.name, strict=False)
+        """A fact-for-fact copy on the same backend kind."""
+        return SourceDatabase(
+            self.schema,
+            self._backend.iter_facts(),
+            name or self.name,
+            strict=False,
+            backend=self._backend.kind if self._backend.kind != "abstract" else None,
+        )
 
     # -- conversions -------------------------------------------------------------
 
     def to_catalog(self) -> Catalog:
         """Materialise the database as a relational catalog."""
         catalog = self.schema.to_catalog(self.name)
-        for fact in self._facts:
+        for fact in self._backend.iter_facts():
             if not catalog.has_relation(fact.predicate):
                 catalog.create_relation(
                     fact.predicate, tuple(f"a{i + 1}" for i in range(fact.arity))
@@ -313,13 +387,19 @@ class SourceDatabase:
         rows_by_relation: Dict[str, Iterable[Sequence[Value]]],
         schema: Optional[SourceSchema] = None,
         name: str = "D",
+        backend: BackendSpec = None,
     ) -> "SourceDatabase":
         """Build a database from ``{relation: [row, ...]}`` dictionaries."""
-        database = SourceDatabase(schema, name=name, strict=schema is not None)
+        database = SourceDatabase(
+            schema, name=name, strict=schema is not None, backend=backend
+        )
         for relation, rows in rows_by_relation.items():
             for row in rows:
                 database.add(relation, *row)
         return database
 
     def __str__(self):
-        return f"SourceDatabase({self.name!r}, {len(self)} facts, schema={self.schema.name!r})"
+        return (
+            f"SourceDatabase({self.name!r}, {len(self)} facts, "
+            f"schema={self.schema.name!r}, backend={self.backend_name!r})"
+        )

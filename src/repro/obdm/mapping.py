@@ -17,6 +17,19 @@ and constants.  The paper's Example 3.6 uses exactly this shape::
 
 Source queries may be conjunctive queries over ``S`` (as above), SQL
 text in the select-project-join fragment, or relational algebra trees.
+
+Application has two data paths.  On the in-memory backend it is the
+seed's: CQ sources evaluate over a shared
+:class:`~repro.queries.evaluation.FactIndex`, algebra/SQL sources run
+through the in-memory :class:`~repro.sql.executor.Executor` over a
+materialised catalog.  On a pushdown-capable backend (see
+:class:`~repro.obdm.backend.SQLiteBackend`) **neither materialisation
+happens**: the source query is compiled to one SQL statement, executed
+inside the backend, and :meth:`Mapping.iter_apply` yields the produced
+ontology facts as a stream.  A query the backend cannot compile
+(:class:`~repro.obdm.backend.PushdownUnsupported`) falls back to the
+legacy path per assertion, so pushdown is an optimisation, never a
+semantics change.
 """
 
 from __future__ import annotations
@@ -33,6 +46,7 @@ from ..queries.terms import Constant, Variable, is_constant, is_variable
 from ..sql.algebra import AlgebraNode
 from ..sql.executor import Executor
 from ..sql.sql_parser import sql_to_algebra
+from .backend import PushdownUnsupported
 from .database import SourceDatabase
 
 SourceQuerySpec = Union[str, ConjunctiveQuery, AlgebraNode]
@@ -135,11 +149,46 @@ class MappingAssertion:
 
         For CQ sources the query is evaluated over the database's atoms;
         for SQL/algebra sources it is executed over the corresponding
-        catalog.  Every answer tuple is substituted into each target atom.
+        catalog — or, on a pushdown-capable backend, either form runs as
+        one SQL statement inside the backend.  Every answer tuple is
+        substituted into each target atom.
         """
-        facts: Set[Atom] = set()
+        return set(self.iter_apply(database, index=index))
+
+    def iter_apply(
+        self,
+        database: SourceDatabase,
+        index: Optional[FactIndex] = None,
+        index_factory=None,
+    ) -> Iterator[Atom]:
+        """Stream the assertion's ontology facts (may repeat across rows).
+
+        When *database* supports SQL pushdown (and no pre-built *index*
+        forces the legacy path), the source query executes inside the
+        backend and answer rows stream straight into target bindings —
+        no fact set, fact index, or catalog is ever materialised.
+        *index_factory* supplies a lazily shared
+        :class:`~repro.queries.evaluation.FactIndex` for assertions that
+        fall back to the in-memory CQ path.
+        """
+        if index is None and database.supports_pushdown():
+            rows = None
+            try:
+                rows = database.execute_pushdown(self.source)
+            except PushdownUnsupported:
+                rows = None
+            if rows is not None:
+                if isinstance(self.source, ConjunctiveQuery):
+                    yield from self._bind_head_rows(rows)
+                else:
+                    yield from self._bind_positional_rows(rows)
+                return
         if isinstance(self.source, ConjunctiveQuery):
-            index = index if index is not None else FactIndex(database.facts)
+            if index is None:
+                index = (
+                    index_factory() if index_factory is not None
+                    else FactIndex(database.facts)
+                )
             answers = evaluate(self.source, (), index=index)
             head = self.source.head
             for answer in answers:
@@ -147,33 +196,46 @@ class MappingAssertion:
                 for target in self.targets:
                     fact = target.apply(binding)
                     if fact.is_ground():
-                        facts.add(fact)
+                        yield fact
         else:
             executor = Executor(database.to_catalog())
-            rows = executor.execute(self.source)
-            # Positional convention for algebra/SQL sources: the i-th output
-            # column binds the i-th distinct variable of the target atoms
-            # (in order of appearance across targets).
-            ordered_variables: List[Variable] = []
+            yield from self._bind_positional_rows(executor.execute(self.source))
+
+    def _bind_head_rows(self, rows: Iterable[Sequence]) -> Iterator[Atom]:
+        """Bind raw answer rows by the CQ's head-variable order."""
+        head = self.source.head
+        for row in rows:
+            binding: Substitution = dict(
+                zip(head, (Constant(value) for value in row))
+            )
             for target in self.targets:
-                for argument in target.args:
-                    if is_variable(argument) and argument not in ordered_variables:
-                        ordered_variables.append(argument)
-            for row in rows:
-                if len(row) < len(ordered_variables):
-                    raise MappingError(
-                        f"source query returned {len(row)} columns but targets need "
-                        f"{len(ordered_variables)} variables"
-                    )
-                binding = {
-                    variable: Constant(value)
-                    for variable, value in zip(ordered_variables, row)
-                }
-                for target in self.targets:
-                    fact = target.apply(binding)
-                    if fact.is_ground():
-                        facts.add(fact)
-        return facts
+                fact = target.apply(binding)
+                if fact.is_ground():
+                    yield fact
+
+    def _bind_positional_rows(self, rows: Iterable[Sequence]) -> Iterator[Atom]:
+        # Positional convention for algebra/SQL sources: the i-th output
+        # column binds the i-th distinct variable of the target atoms
+        # (in order of appearance across targets).
+        ordered_variables: List[Variable] = []
+        for target in self.targets:
+            for argument in target.args:
+                if is_variable(argument) and argument not in ordered_variables:
+                    ordered_variables.append(argument)
+        for row in rows:
+            if len(row) < len(ordered_variables):
+                raise MappingError(
+                    f"source query returned {len(row)} columns but targets need "
+                    f"{len(ordered_variables)} variables"
+                )
+            binding = {
+                variable: Constant(value)
+                for variable, value in zip(ordered_variables, row)
+            }
+            for target in self.targets:
+                fact = target.apply(binding)
+                if fact.is_ground():
+                    yield fact
 
     def __str__(self):
         source = str(self.source)
@@ -241,11 +303,33 @@ class Mapping:
 
     def apply(self, database: SourceDatabase) -> Set[Atom]:
         """Apply every assertion to *database* (the retrieved/virtual ABox)."""
+        return set(self.iter_apply(database))
+
+    def iter_apply(self, database: SourceDatabase) -> Iterator[Atom]:
+        """Stream the retrieved facts of every assertion.
+
+        On the in-memory backend one :class:`~repro.queries.evaluation.FactIndex`
+        is shared across assertions (the seed behaviour).  On a
+        pushdown-capable backend no index is built at all unless some
+        assertion's query has no SQL translation — then the index is
+        built lazily, once, for exactly the falling-back assertions.
+        Facts may repeat across assertions; callers deduplicate (the
+        virtual ABox is a frozenset).
+        """
+        if database.supports_pushdown():
+            shared: List[Optional[FactIndex]] = [None]
+
+            def index_factory() -> FactIndex:
+                if shared[0] is None:
+                    shared[0] = FactIndex(database.facts)
+                return shared[0]
+
+            for assertion in self._assertions:
+                yield from assertion.iter_apply(database, index_factory=index_factory)
+            return
         index = FactIndex(database.facts)
-        facts: Set[Atom] = set()
         for assertion in self._assertions:
-            facts |= assertion.apply(database, index=index)
-        return facts
+            yield from assertion.iter_apply(database, index=index)
 
     def __str__(self):
         lines = [f"Mapping {self.name!r}:"]

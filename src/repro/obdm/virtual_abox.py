@@ -15,7 +15,7 @@ evaluates many candidate queries over the same border) are cheap.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Set
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from ..queries.atoms import Atom
 from ..queries.evaluation import FactIndex
@@ -30,6 +30,7 @@ class VirtualABox:
         self._facts: FrozenSet[Atom] = frozenset(facts)
         self.source_name = source_name
         self._index: Optional[FactIndex] = None
+        self._sorted: Optional[Tuple[Atom, ...]] = None
 
     @property
     def facts(self) -> FrozenSet[Atom]:
@@ -41,11 +42,26 @@ class VirtualABox:
             self._index = FactIndex(self._facts)
         return self._index
 
+    def __getstate__(self):
+        # The fact index and the sorted view are derivable content:
+        # pickling them would only fatten snapshots and shard payloads
+        # (the same discipline as Border's cached hash/atom union).
+        # Both are rebuilt lazily in the receiving process.
+        state = dict(self.__dict__)
+        state["_index"] = None
+        state["_sorted"] = None
+        return state
+
     def __len__(self) -> int:
         return len(self._facts)
 
     def __iter__(self):
-        return iter(sorted(self._facts))
+        # Sorting thousands of retrieved facts on *every* iteration made
+        # repeated scans quadratic in practice; the fact set is frozen,
+        # so the sorted view is computed once and cached.
+        if self._sorted is None:
+            self._sorted = tuple(sorted(self._facts))
+        return iter(self._sorted)
 
     def __contains__(self, fact: Atom) -> bool:
         return fact in self._facts
@@ -58,5 +74,11 @@ class VirtualABox:
 
 
 def retrieve_abox(mapping: Mapping, database: SourceDatabase) -> VirtualABox:
-    """Apply the mapping to the database and wrap the result."""
-    return VirtualABox(mapping.apply(database), source_name=database.name)
+    """Apply the mapping to the database and wrap the result.
+
+    The mapping's facts are consumed as a stream
+    (:meth:`~repro.obdm.mapping.Mapping.iter_apply`): on a pushdown
+    backend the retrieved ABox is the only thing materialised — never
+    the source fact set, a fact index, or a catalog copy.
+    """
+    return VirtualABox(mapping.iter_apply(database), source_name=database.name)

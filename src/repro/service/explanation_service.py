@@ -231,17 +231,33 @@ class ExplanationService:
     def cache_stats(self):
         return self.cache.stats
 
-    def size_report(self) -> Dict[str, int]:
+    @property
+    def backend_name(self) -> str:
+        """The storage backend kind the source database lives on.
+
+        ``"memory"`` for the seed's dict-indexed store, ``"sqlite"``
+        for the out-of-core SQL-pushdown backend
+        (:mod:`repro.obdm.backend`).  Serving is backend-oblivious —
+        borders arrive through indexed point lookups and the retrieved
+        ABox through streaming mapping application either way — but
+        operators reading a :meth:`size_report` want to know whether
+        fact storage is on or off the Python heap.
+        """
+        return self.system.database.backend_name
+
+    def size_report(self) -> Dict[str, object]:
         """Occupancy of the cache layers plus the service's own stores.
 
         ``borders`` is the service's border-computer cache — bounded by
         the same ``border_aboxes`` limit and evicting into the same
         ``evictions`` counter, so operators can reconcile every eviction
-        against a reported layer.
+        against a reported layer.  ``backend`` names the database's
+        storage backend (the one non-count entry).
         """
         report = self.cache.size_report()
         report["sessions"] = len(self._sessions)
         report["borders"] = len(self._border_computer._cache)
+        report["backend"] = self.backend_name
         return report
 
     def evaluator(self, radius: Optional[int] = None) -> MatchEvaluator:

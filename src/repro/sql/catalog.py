@@ -22,6 +22,7 @@ class Catalog:
     def __init__(self, name: str = "source"):
         self.name = name
         self._relations: Dict[str, Relation] = {}
+        self._structure_version = 0
 
     # -- schema management -------------------------------------------------
 
@@ -31,13 +32,32 @@ class Catalog:
             raise SchemaError(f"relation {name!r} already exists in catalog {self.name!r}")
         relation = Relation(RelationSchema(name, tuple(attributes)))
         self._relations[name] = relation
+        self._structure_version += 1
         return relation
 
     def drop_relation(self, name: str) -> None:
         """Remove a relation; raises :class:`UnknownRelationError` if absent."""
         if name not in self._relations:
             raise UnknownRelationError(f"cannot drop unknown relation {name!r}")
-        del self._relations[name]
+        dropped = self._relations.pop(name)
+        # Absorb the dropped relation's version (plus one for the drop
+        # itself) so ``content_version`` cannot revert to an earlier
+        # value once the relation's contribution leaves the sum.
+        self._structure_version += dropped.version + 1
+
+    def content_version(self) -> int:
+        """Monotonic version covering both structure and row contents.
+
+        Two observations of the same catalog object with equal
+        ``content_version()`` are guaranteed to hold identical data;
+        any effective row or schema mutation in between changes it.
+        Consumers (e.g. :class:`~repro.sql.executor.Executor`) key
+        derived caches on this instead of relying on being told about
+        every mutation.
+        """
+        return self._structure_version + sum(
+            relation.version for relation in self._relations.values()
+        )
 
     def has_relation(self, name: str) -> bool:
         return name in self._relations

@@ -26,22 +26,28 @@ class Executor:
     """Evaluates source queries over a :class:`~repro.sql.catalog.Catalog`.
 
     The executor caches the logical (atom) view of the catalog so that
-    repeated CQ-style source queries do not re-materialise it; the cache
-    is invalidated explicitly with :meth:`invalidate` when the catalog's
-    contents change.
+    repeated CQ-style source queries do not re-materialise it.  The
+    cache is keyed on :meth:`Catalog.content_version`, so any effective
+    insert/remove/DDL on the catalog invalidates it automatically —
+    callers no longer have to remember to call :meth:`invalidate`
+    (which remains as a no-risk explicit form).
     """
 
     def __init__(self, catalog: Catalog):
         self.catalog = catalog
         self._fact_index: Optional[FactIndex] = None
+        self._index_version: Optional[int] = None
 
     def invalidate(self) -> None:
-        """Drop cached state after the underlying catalog was modified."""
+        """Drop cached state (kept for back-compat; now automatic)."""
         self._fact_index = None
+        self._index_version = None
 
     def _index(self) -> FactIndex:
-        if self._fact_index is None:
+        version = self.catalog.content_version()
+        if self._fact_index is None or self._index_version != version:
             self._fact_index = FactIndex(self.catalog.to_atoms())
+            self._index_version = version
         return self._fact_index
 
     # -- execution ------------------------------------------------------

@@ -59,6 +59,7 @@ class Relation:
     def __init__(self, schema: RelationSchema, rows: Iterable[Row] = ()):
         self.schema = schema
         self._rows: Set[Row] = set()
+        self._version = 0
         for row in rows:
             self.add(row)
 
@@ -72,7 +73,10 @@ class Relation:
                 f"row {row!r} has arity {len(row)}, but {self.schema} expects "
                 f"{self.schema.arity}"
             )
+        before = len(self._rows)
         self._rows.add(row)
+        if len(self._rows) != before:
+            self._version += 1
 
     def add_all(self, rows: Iterable[Sequence]) -> None:
         for row in rows:
@@ -80,7 +84,15 @@ class Relation:
 
     def remove(self, row: Sequence) -> None:
         """Remove a row if present (no error when absent)."""
+        before = len(self._rows)
         self._rows.discard(tuple(row))
+        if len(self._rows) != before:
+            self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic content version: bumps on every effective add/remove."""
+        return self._version
 
     # -- access ------------------------------------------------------------
 

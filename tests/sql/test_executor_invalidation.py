@@ -1,0 +1,91 @@
+"""Executor fact-index cache: invalidation tied to catalog content.
+
+The seed's :class:`~repro.sql.executor.Executor` cached the catalog's
+atom view and relied on callers remembering to call ``invalidate()``
+after every mutation — a stale-read bug waiting to happen.  The cache
+is now keyed on :meth:`~repro.sql.catalog.Catalog.content_version`, a
+monotonic counter covering row contents and DDL, so mutations are
+picked up automatically (and ``invalidate()`` stays as a no-op-safe
+explicit form).
+"""
+
+from repro.queries.parser import parse_cq
+from repro.sql.catalog import Catalog
+from repro.sql.executor import Executor
+
+
+def build_catalog():
+    catalog = Catalog("inv")
+    catalog.create_relation("ENR", ("student", "course", "campus"))
+    catalog.insert("ENR", ("S1", "db", "rome"))
+    catalog.insert("ENR", ("S2", "ai", "milan"))
+    return catalog
+
+
+QUERY = parse_cq("q(x) :- ENR(x, y, z)")
+
+
+class TestRelationVersion:
+    def test_bumps_only_on_effective_change(self):
+        catalog = build_catalog()
+        relation = catalog.relation("ENR")
+        version = relation.version
+        relation.add(("S1", "db", "rome"))  # duplicate: no change
+        assert relation.version == version
+        relation.remove(("NOPE", "db", "rome"))  # absent: no change
+        assert relation.version == version
+        relation.add(("S3", "ml", "turin"))
+        assert relation.version == version + 1
+        relation.remove(("S3", "ml", "turin"))
+        assert relation.version == version + 2
+
+    def test_content_version_monotonic_across_drop(self):
+        catalog = build_catalog()
+        seen = [catalog.content_version()]
+        catalog.insert("ENR", ("S3", "ml", "turin"))
+        seen.append(catalog.content_version())
+        # Dropping a relation removes its versions from the sum; the
+        # structure counter must absorb them so the total never reverts.
+        catalog.drop_relation("ENR")
+        seen.append(catalog.content_version())
+        catalog.create_relation("ENR", ("student", "course", "campus"))
+        seen.append(catalog.content_version())
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)
+
+
+class TestExecutorInvalidation:
+    def test_stale_reads_without_explicit_invalidate(self):
+        catalog = build_catalog()
+        executor = Executor(catalog)
+        assert executor.execute(QUERY) == [("S1",), ("S2",)]
+        # Mutate the catalog *without* telling the executor.
+        catalog.insert("ENR", ("S3", "ml", "turin"))
+        assert executor.execute(QUERY) == [("S1",), ("S2",), ("S3",)]
+        catalog.relation("ENR").remove(("S1", "db", "rome"))
+        assert executor.execute(QUERY) == [("S2",), ("S3",)]
+
+    def test_no_op_mutations_keep_cache_warm(self):
+        catalog = build_catalog()
+        executor = Executor(catalog)
+        executor.execute(QUERY)
+        index = executor._fact_index
+        catalog.insert("ENR", ("S1", "db", "rome"))  # duplicate row
+        executor.execute(QUERY)
+        assert executor._fact_index is index
+
+    def test_explicit_invalidate_still_works(self):
+        catalog = build_catalog()
+        executor = Executor(catalog)
+        executor.execute(QUERY)
+        executor.invalidate()
+        assert executor._fact_index is None
+        assert executor.execute(QUERY) == [("S1",), ("S2",)]
+
+    def test_ddl_invalidates(self):
+        catalog = build_catalog()
+        executor = Executor(catalog)
+        assert executor.execute(QUERY) == [("S1",), ("S2",)]
+        catalog.create_relation("LOC", ("course", "city"))
+        catalog.insert("LOC", ("db", "rome"))
+        assert executor.execute(parse_cq("q(x) :- LOC(y, x)")) == [("rome",)]
