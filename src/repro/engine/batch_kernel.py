@@ -44,6 +44,7 @@ this module imports numpy.
 
 from __future__ import annotations
 
+import tempfile
 from typing import Dict, List, Sequence, Tuple
 
 try:  # pragma: no cover - exercised implicitly by every import site
@@ -59,6 +60,12 @@ from ..queries.ucq import query_key
 from .kernel import PoolMatchKernel
 
 WORD_BITS = 64
+
+# Rows per processing slab on the spill path: large enough that numpy
+# calls stay vectorized, small enough that the transient unpacked 0/1
+# slab (8× its packed words) bounds the Python-heap peak well below the
+# full matrix.
+SPILL_SLAB_ROWS = 64
 
 
 def batch_available() -> bool:
@@ -78,16 +85,40 @@ def _word_count(width: int) -> int:
     return max(1, (width + WORD_BITS - 1) // WORD_BITS)
 
 
-def pack_rows(rows: Sequence[int], width: int):
+def _spill_matrix(shape: Tuple[int, int]):
+    """A zero-initialised ``numpy.memmap`` uint64 matrix in a temp file.
+
+    Mirrors the PR-9 spill-store discipline (``SpillArgsRows`` /
+    ``SpillMaskRows``): the backing ``tempfile.TemporaryFile`` is
+    anonymous on POSIX (already unlinked, prefix ``repro-spill-``), so
+    releasing the array and its attached ``_spill_source`` handle gives
+    the disk back with no orphan path to clean up.
+    """
+    rows, words = int(shape[0]), int(shape[1])
+    handle = tempfile.TemporaryFile(prefix="repro-spill-")
+    handle.truncate(rows * words * 8)
+    matrix = _np.memmap(handle, dtype="<u8", mode="r+", shape=(rows, words))
+    matrix._spill_source = handle
+    return matrix
+
+
+def pack_rows(rows: Sequence[int], width: int, spill: bool = False):
     """Pack Python-int bitset rows into a ``(len(rows), words)`` uint64 matrix.
 
     Bit ``i`` of a row lands in word ``i // 64`` at position ``i % 64``
     (little-endian words), so masked popcounts over the words agree with
-    ``int.bit_count`` over the ints.
+    ``int.bit_count`` over the ints.  With ``spill=True`` the matrix is
+    a memory-mapped temp file written one row at a time — the Python
+    heap never holds more than a single row's bytes.
     """
     _require_numpy()
     words = _word_count(width)
     nbytes = words * 8
+    if spill and rows:
+        matrix = _spill_matrix((len(rows), words))
+        for position, row in enumerate(rows):
+            matrix[position] = _np.frombuffer(row.to_bytes(nbytes, "little"), dtype="<u8")
+        return matrix
     buffer = bytearray(len(rows) * nbytes)
     for position, row in enumerate(rows):
         buffer[position * nbytes : (position + 1) * nbytes] = row.to_bytes(
@@ -107,11 +138,26 @@ def unpack_bits(words, width: int):
     return ((words[:, word_index] >> shifts) & _np.uint64(1)).astype(_np.uint8)
 
 
-def pack_bit_matrix(bits) -> Tuple[object, List[int]]:
-    """Pack a 0/1 matrix back into (uint64 words, Python-int rows)."""
+def pack_bit_matrix(bits, spill: bool = False) -> Tuple[object, List[int]]:
+    """Pack a 0/1 matrix back into (uint64 words, Python-int rows).
+
+    With ``spill=True`` the word matrix is a memory-mapped temp file
+    filled slab by slab (:data:`SPILL_SLAB_ROWS` rows at a time), so
+    the heap peak is one slab's words instead of the whole matrix; the
+    packed bits are identical either way.
+    """
     _require_numpy()
     count, width = bits.shape
     nbytes = _word_count(width) * 8
+    if spill and count:
+        matrix = _spill_matrix((count, _word_count(width)))
+        ints: List[int] = []
+        for start in range(0, count, SPILL_SLAB_ROWS):
+            stop = min(start + SPILL_SLAB_ROWS, count)
+            slab_words, slab_ints = pack_bit_matrix(bits[start:stop])
+            matrix[start:stop] = slab_words
+            ints.extend(slab_ints)
+        return matrix, ints
     padded = _np.zeros((count, nbytes), dtype=_np.uint8)
     if width:
         packed = _np.packbits(bits, axis=1, bitorder="little")
@@ -125,16 +171,57 @@ def pack_bit_matrix(bits) -> Tuple[object, List[int]]:
     return words, ints
 
 
+def gather_packed_spilled(words, selection: Sequence[int], width: int, count: int):
+    """Column-gather a packed word matrix into a spilled (words, ints) pair.
+
+    Processes :data:`SPILL_SLAB_ROWS` rows at a time: unpack one slab's
+    0/1 bits (the 8×-wider intermediate exists only at slab size),
+    gather *selection*'s columns, re-pack, and write the slab into a
+    fresh memory-mapped matrix.  Per-slab ``packbits`` equals the
+    whole-matrix pack row for row, so the gathered bits are identical
+    to ``pack_bit_matrix(unpack_bits(words, width)[:, selection])``.
+    """
+    _require_numpy()
+    local_width = len(selection)
+    if count == 0:
+        return pack_bit_matrix(_np.zeros((0, local_width), dtype=_np.uint8))
+    gathered = _spill_matrix((count, _word_count(local_width)))
+    ints: List[int] = []
+    gather = _np.asarray(selection, dtype=_np.intp)
+    for start in range(0, count, SPILL_SLAB_ROWS):
+        stop = min(start + SPILL_SLAB_ROWS, count)
+        slab = _np.asarray(words[start:stop])
+        if local_width:
+            local_bits = unpack_bits(slab, width)[:, gather]
+        else:
+            local_bits = _np.zeros((stop - start, 0), dtype=_np.uint8)
+        slab_words, slab_ints = pack_bit_matrix(local_bits)
+        gathered[start:stop] = slab_words
+        ints.extend(slab_ints)
+    return gathered, ints
+
+
 def masked_popcounts(words, mask: int, width: int):
     """Per-row popcounts of ``words & mask`` — one vectorized δ-count pass.
 
     This is the batch replacement for the per-row
     ``(row & mask).bit_count()`` calls of
     :class:`~repro.engine.verdicts.BitsetVerdictProfile`: one call
-    yields the masked counts of *every* candidate in the slab.
+    yields the masked counts of *every* candidate in the slab.  A
+    memory-mapped word matrix is consumed in row slabs so the ANDed
+    intermediate never materialises at full size.
     """
     _require_numpy()
     mask_words = pack_rows([mask], width)
+    if isinstance(words, _np.memmap):
+        chunks = []
+        for start in range(0, words.shape[0], SPILL_SLAB_ROWS):
+            stop = min(start + SPILL_SLAB_ROWS, words.shape[0])
+            slab = _np.asarray(words[start:stop])
+            chunks.append(_np.bitwise_count(slab & mask_words).sum(axis=1))
+        if not chunks:
+            return _np.zeros(0, dtype=_np.uint64)
+        return _np.concatenate(chunks)
     return _np.bitwise_count(words & mask_words).sum(axis=1)
 
 
@@ -169,7 +256,8 @@ class MultiLabelingBatchKernel:
         _require_numpy()
         self.evaluator = evaluator
         self.layouts = list(layouts)
-        self._cache = evaluator.system.specification.engine.cache
+        self._engine = evaluator.system.specification.engine
+        self._cache = self._engine.cache
         distinct: Dict[object, None] = {}
         for layout in self.layouts:
             for border in layout.borders:
@@ -230,6 +318,16 @@ class MultiLabelingBatchKernel:
 
     # -- the batch dispatch ------------------------------------------------
 
+    def _spill_enabled(self) -> bool:
+        """Live read of ``engine.kernel.spill.enabled`` (same gate as the
+        spilled border index — one policy moves every big matrix off-heap)."""
+        spill = getattr(self._engine.kernel, "spill", None)
+        return bool(spill is not None and spill.enabled)
+
+    def _gather_spilled(self, words, selection: Sequence[int], count: int):
+        """One layout's (words, ints) sliced slab-by-slab off the heap."""
+        return gather_packed_spilled(words, selection, self.global_width, count)
+
     def rows_for(self, pools: Sequence[Sequence]) -> List[LayoutRows]:
         """Verdict rows for per-layout pools from one kernel dispatch.
 
@@ -257,15 +355,21 @@ class MultiLabelingBatchKernel:
                     ordered_queries.append(query)
         global_rows = [self.kernel.row(query) for query in ordered_queries]
         stats.merge({"batch_rows": len(global_rows)})
-        words = pack_rows(global_rows, self.global_width)
-        bits = unpack_bits(words, self.global_width)
+        spill = self._spill_enabled()
+        words = pack_rows(global_rows, self.global_width, spill=spill)
+        bits = None if spill else unpack_bits(words, self.global_width)
         results: List[LayoutRows] = []
         for layout, selection, pool in zip(self.layouts, self._selections, pools):
-            if selection:
-                local_bits = bits[:, selection]
+            if spill:
+                local_words, local_ints = self._gather_spilled(
+                    words, selection, len(ordered_queries)
+                )
             else:
-                local_bits = _np.zeros((len(ordered_queries), 0), dtype=_np.uint8)
-            local_words, local_ints = pack_bit_matrix(local_bits)
+                if selection:
+                    local_bits = bits[:, selection]
+                else:
+                    local_bits = _np.zeros((len(ordered_queries), 0), dtype=_np.uint8)
+                local_words, local_ints = pack_bit_matrix(local_bits)
             matched_pos = masked_popcounts(local_words, layout.positives_mask, layout.width)
             matched_neg = masked_popcounts(local_words, layout.negatives_mask, layout.width)
             rows: List[int] = []

@@ -232,6 +232,41 @@ class DeltaPolicy:
         return f"DeltaPolicy(enabled={self.enabled})"
 
 
+class PushdownPolicy:
+    """Switch for whole-rewriting SQL pushdown of certain-answer checks.
+
+    When ``enabled`` (the default) and the source database's storage
+    backend supports it (:class:`~repro.obdm.backend.SQLiteBackend`
+    with ``pushdown=True``), the rewriting strategy of
+    :class:`~repro.obdm.certain_answers.CertainAnswerEngine` compiles
+    the *entire* perfect rewriting — every UCQ disjunct as one
+    self-join ``SELECT``, combined with ``UNION``, the ABox restriction
+    as a pushed-down constant filter — and answers
+    ``certain_answers`` / ``is_certain_answer`` with a single
+    ``sqlite3`` execution instead of O(|disjuncts| × |ABox facts|)
+    Python homomorphism search.  Queries or backends the compiler
+    cannot handle raise
+    :class:`~repro.obdm.backend.PushdownUnsupported` and fall back to
+    the legacy in-memory evaluation *per query* (counted in
+    ``CacheStats.pushdown_fallbacks``, so a workload quietly running
+    the slow path is visible); pushed-down results are memoized in
+    :meth:`EvaluationCache.pushdown_result` (``pushdown_hits`` /
+    ``pushdown_misses``).  Disabling the policy reproduces the legacy
+    path exactly — the differential suite
+    (``tests/obdm/test_pushdown_rewriting.py``) pins both byte-
+    identical across all four domains.  Every
+    :class:`~repro.obdm.certain_answers.CertainAnswerEngine` owns one
+    (``specification.engine.pushdown``), in the same style as
+    ``engine.cache/verdicts/kernel/delta``.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+
+    def __str__(self):
+        return f"PushdownPolicy(enabled={self.enabled})"
+
+
 class CacheStats:
     """Hit/miss/eviction counters per memo layer (benchmark observability).
 
@@ -259,6 +294,9 @@ class CacheStats:
         "batch_rows",
         "evictions",
         "delta_invalidations",
+        "pushdown_hits",
+        "pushdown_misses",
+        "pushdown_fallbacks",
     )
 
     def __init__(self):
@@ -338,13 +376,17 @@ class CacheLimits:
     """Cap on resident kernel *table sets* (one per unified border index);
     evicting one drops every partial-match bitset tabled under it, the
     same layout-as-eviction-unit discipline as ``verdict_layouts``."""
+    pushdowns: Optional[int] = None
+    """Cap on memoized pushed-down certain-answer results (one entry per
+    ``(rewriting, ABox, binding)`` triple); a derived layer like
+    ``subqueries`` — never persisted in snapshots."""
 
     def __str__(self):
         return (
             f"CacheLimits(saturations={self.saturations}, "
             f"border_aboxes={self.border_aboxes}, "
             f"verdict_layouts={self.verdict_layouts}, matches={self.matches}, "
-            f"subqueries={self.subqueries})"
+            f"subqueries={self.subqueries}, pushdowns={self.pushdowns})"
         )
 
 
@@ -534,6 +576,7 @@ class EvaluationCache:
         self._matches = LRUStore(self.limits.matches, self.stats)
         self._verdict_rows = LRUStore(self.limits.verdict_layouts, self.stats)
         self._subqueries = LRUStore(self.limits.subqueries, self.stats)
+        self._pushdowns = LRUStore(self.limits.pushdowns, self.stats)
 
     # -- pickling ---------------------------------------------------------
 
@@ -562,6 +605,7 @@ class EvaluationCache:
         self._matches.set_capacity(limits.matches)
         self._verdict_rows.set_capacity(limits.verdict_layouts)
         self._subqueries.set_capacity(limits.subqueries)
+        self._pushdowns.set_capacity(limits.pushdowns)
 
     def size_report(self) -> Dict[str, int]:
         """Entry counts per layer (verdict rows also summed across layouts)."""
@@ -574,6 +618,7 @@ class EvaluationCache:
             "verdict_rows": sum(len(rows) for _, rows in self._verdict_rows.items()),
             "subquery_indexes": len(self._subqueries),
             "subquery_states": sum(len(table) for _, table in self._subqueries.items()),
+            "pushdown_results": len(self._pushdowns),
         }
 
     # -- persistence ------------------------------------------------------
@@ -870,6 +915,38 @@ class EvaluationCache:
             return {}
         return self._subqueries.get_or_create(index_key, dict)
 
+    # -- pushed-down certain answers --------------------------------------
+
+    def pushdown_result(self, key: Hashable, compute: Callable[[], object]) -> object:
+        """Memoize one pushed-down certain-answer result.
+
+        *key* is content-addressed by the rewriting's
+        :func:`~repro.queries.ucq.query_key`, the ABox fact set the SQL
+        was restricted to, and (for membership checks) the normalized
+        answer tuple — so a drifted database or a different border ABox
+        can never be served a stale result; its old entries simply become
+        unreachable and age out of the LRU.  Like verdict rows and
+        subquery tables this is a *derived* layer: never persisted by
+        :meth:`save`, private no-op when the cache is disabled.  Traffic
+        is counted in ``stats.pushdown_hits`` / ``stats.pushdown_misses``
+        (a miss is an actual ``sqlite3`` execution); *compute* failures
+        (e.g. :class:`~repro.obdm.backend.PushdownUnsupported`) propagate
+        uncached and uncounted so the caller's fallback accounting stays
+        truthful.
+        """
+        if not self.enabled:
+            value = compute()
+            self.stats.count("pushdown_misses")
+            return value
+        hit = self._pushdowns.get(key)
+        if hit is not None:
+            self.stats.count("pushdown_hits")
+            return hit[0]
+        value = compute()
+        self.stats.count("pushdown_misses")
+        self._pushdowns.put(key, (value,))
+        return value
+
     # -- maintenance ------------------------------------------------------
 
     def invalidate_borders(self, touched, constants=frozenset()) -> Dict[str, int]:
@@ -945,6 +1022,19 @@ class EvaluationCache:
                 and len(key) >= 2
                 and layout_touched(key[1])
             ),
+            "pushdowns": self._pushdowns.discard_where(
+                # ("pushdown", query_key, abox_facts, binding?) — the fact
+                # set is the content address; drop entries whose ABox was a
+                # touched border's or mentions a delta constant (the rest
+                # stay addressable and correct).
+                lambda key, _v: isinstance(key, tuple)
+                and len(key) >= 3
+                and isinstance(key[2], frozenset)
+                and (
+                    key[2] in stale_fact_sets
+                    or (constants and mentions_delta(key[2]))
+                )
+            ),
         }
         total = sum(dropped.values())
         if total:
@@ -961,6 +1051,7 @@ class EvaluationCache:
             self._matches.clear()
             self._verdict_rows.clear()
             self._subqueries.clear()
+            self._pushdowns.clear()
 
     def __str__(self):
         return (

@@ -548,7 +548,16 @@ class PoolMatchKernel:
         """
         successor = PoolMatchKernel(self.evaluator, new_columns)
         index = self._index
-        if index is None or len(self._bits) != self.columns.width:
+        if index is None:
+            return successor
+        if len(self._bits) != self.columns.width:
+            # A restricted kernel's index covers only a bit subset, so the
+            # successor cannot adopt it — but this kernel is superseded
+            # either way.  Close the stale index *now*: in spill mode its
+            # columns pin memory-mapped temp files, and leaving the
+            # release to garbage collection keeps disk pinned for as long
+            # as any stray reference survives.
+            self.close()
             return successor
         self._index = None
         self._tables = {}
@@ -562,6 +571,19 @@ class PoolMatchKernel:
         successor._index = index
         successor._bind_tables()
         return successor
+
+    def close(self) -> None:
+        """Detach and close the built index (spill temp files released).
+
+        Idempotent and safe on an unbuilt kernel.  Callers that create
+        throwaway kernels (drift re-evaluation over a restricted bit
+        set) close them explicitly so spilled columns never wait for the
+        garbage collector to give the disk back.
+        """
+        index, self._index = self._index, None
+        self._tables = {}
+        if index is not None:
+            index.close()
 
     # -- rows --------------------------------------------------------------
 

@@ -805,7 +805,12 @@ class VerdictMatrix:
             restricted = PoolMatchKernel(
                 self.evaluator, self.columns, bits=changed_bits
             )
-            return [restricted.row(query) for query in queries]
+            try:
+                return [restricted.row(query) for query in queries]
+            finally:
+                # Throwaway kernel: in spill mode its restricted index
+                # holds mmap temp files; release them now, not at GC.
+                restricted.close()
         rows = [0] * len(queries)
         for bit in changed_bits:
             border = self.columns.borders[bit]

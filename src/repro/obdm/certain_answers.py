@@ -31,6 +31,7 @@ from ..engine.cache import (
     DeltaPolicy,
     EvaluationCache,
     KernelPolicy,
+    PushdownPolicy,
     VerdictPolicy,
 )
 from ..errors import CertainAnswerError
@@ -38,7 +39,8 @@ from ..queries.atoms import Atom
 from ..queries.cq import ConjunctiveQuery
 from ..queries.evaluation import FactIndex, contains_tuple, evaluate
 from ..queries.terms import Constant
-from ..queries.ucq import UnionOfConjunctiveQueries
+from ..queries.ucq import UnionOfConjunctiveQueries, query_key
+from .backend import PushdownUnsupported
 from .chase import ChaseEngine, tuple_has_null
 from .database import SourceDatabase
 from .mapping import Mapping
@@ -87,6 +89,12 @@ class CertainAnswerEngine:
         # makes every applied delta behave like the legacy cold rebuild
         # (full cache drop + session rebuild on next request).
         self.delta = DeltaPolicy()
+        # Toggle for whole-rewriting SQL pushdown (rewriting strategy
+        # only): when the source database's backend supports it, the
+        # rewritten UCQ runs as one pushed-down SQL statement; any
+        # PushdownUnsupported falls back to the legacy in-memory
+        # evaluation per query, counted in cache.stats.
+        self.pushdown = PushdownPolicy()
 
     # -- ABox handling -------------------------------------------------------
 
@@ -167,6 +175,14 @@ class CertainAnswerEngine:
         abox = abox if abox is not None else self.retrieve(database)
         if self.strategy == "rewriting":
             rewriting = self.rewrite(query)
+            if self.pushdown.enabled:
+                try:
+                    return self.cache.pushdown_result(
+                        ("pushdown", query_key(rewriting), abox.facts),
+                        lambda: database.ucq_certain_answers(rewriting, abox.facts),
+                    )
+                except PushdownUnsupported:
+                    self.cache.stats.count("pushdown_fallbacks")
             return rewriting.evaluate((), index=abox.index)
         saturated = self.saturate(abox)
         answers = self._evaluate_plain(query, saturated)
@@ -191,6 +207,16 @@ class CertainAnswerEngine:
         abox = abox if abox is not None else self.retrieve(database)
         if self.strategy == "rewriting":
             rewriting = self.rewrite(query)
+            if self.pushdown.enabled:
+                try:
+                    return self.cache.pushdown_result(
+                        ("pushdown", query_key(rewriting), abox.facts, normalized),
+                        lambda: database.ucq_contains_tuple(
+                            rewriting, normalized, abox.facts
+                        ),
+                    )
+                except PushdownUnsupported:
+                    self.cache.stats.count("pushdown_fallbacks")
             return rewriting.contains_tuple(normalized, (), index=abox.index)
         saturated = self.saturate(abox)
         if isinstance(query, ConjunctiveQuery):

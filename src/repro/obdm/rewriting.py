@@ -86,7 +86,13 @@ class PerfectRefRewriter:
                 produced[signature] = candidate
                 frontier.append(candidate)
 
-        return UnionOfConjunctiveQueries(tuple(produced.values()), name).deduplicated()
+        # Deterministic disjunct order (sorted by canonical signature):
+        # union semantics are order-independent, but the SQL pushdown
+        # compiles the disjunct sequence to one statement text, and a
+        # stable text keeps sqlite3's prepared-statement cache and the
+        # pushdown memo effective across runs.
+        ordered = sorted(produced.values(), key=lambda cq: cq.signature())
+        return UnionOfConjunctiveQueries(tuple(ordered), name).deduplicated()
 
     # -- validation ----------------------------------------------------------
 

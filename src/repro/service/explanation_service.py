@@ -252,12 +252,20 @@ class ExplanationService:
         the same ``border_aboxes`` limit and evicting into the same
         ``evictions`` counter, so operators can reconcile every eviction
         against a reported layer.  ``backend`` names the database's
-        storage backend (the one non-count entry).
+        storage backend (the one non-count entry).  The three
+        ``pushdown_*`` counters surface whole-rewriting SQL pushdown
+        traffic: a workload whose fallbacks dominate its hits + misses
+        is quietly running the slow per-disjunct path (wrong backend, or
+        queries the compiler rejects) and should be looked at.
         """
         report = self.cache.size_report()
         report["sessions"] = len(self._sessions)
         report["borders"] = len(self._border_computer._cache)
         report["backend"] = self.backend_name
+        stats = self.cache_stats
+        report["pushdown_hits"] = stats.pushdown_hits
+        report["pushdown_misses"] = stats.pushdown_misses
+        report["pushdown_fallbacks"] = stats.pushdown_fallbacks
         return report
 
     def evaluator(self, radius: Optional[int] = None) -> MatchEvaluator:

@@ -27,8 +27,10 @@ from repro.core.matching import MatchEvaluator
 from repro.engine import batch_kernel
 from repro.engine.batch_kernel import (
     HAS_NUMPY,
+    SPILL_SLAB_ROWS,
     MultiLabelingBatchKernel,
     batch_available,
+    gather_packed_spilled,
     masked_popcounts,
     pack_bit_matrix,
     pack_rows,
@@ -391,3 +393,117 @@ class TestCutoffAccounting:
         assert len(pool) <= 5
         assert pool.generated >= len(pool)
         assert not pool.exhausted
+
+
+# -- memory-mapped spill matrices ---------------------------------------------
+
+
+def _dense_rows(count, width):
+    """*count* deterministic bitset rows mixing the ROWS edge cases in."""
+    mask = (1 << width) - 1
+    rows = [row & mask for row in ROWS]
+    rows += [
+        ((index * 0x9E3779B97F4A7C15) | (1 << (index % width))) & mask
+        for index in range(count - len(rows))
+    ]
+    return rows
+
+
+class TestMemmapSpillMatrices:
+    """PR-10: spill-mode packed matrices are bit-identical to in-RAM arrays.
+
+    ``engine.kernel.spill.enabled`` moves the batch kernel's global word
+    matrix into a memory-mapped temp file, filled and consumed slab by
+    slab.  Every helper on that path — ``pack_rows``,
+    ``pack_bit_matrix``, ``gather_packed_spilled`` and the memmap branch
+    of ``masked_popcounts`` — must reproduce the in-RAM ints and counts
+    bit for bit; the widths/counts here deliberately avoid word and
+    slab boundaries so padding and partial-slab handling are exercised.
+    """
+
+    WIDTH = 140  # three 64-bit words, not a multiple of 64
+    COUNT = SPILL_SLAB_ROWS + 7  # forces a partial trailing slab
+
+    def test_pack_rows_spill_identity(self):
+        rows = _dense_rows(self.COUNT, self.WIDTH)
+        plain = pack_rows(rows, self.WIDTH)
+        spilled = pack_rows(rows, self.WIDTH, spill=True)
+        assert hasattr(spilled, "_spill_source"), "spill=True must hit the memmap"
+        assert (
+            unpack_bits(spilled, self.WIDTH).tolist()
+            == unpack_bits(plain, self.WIDTH).tolist()
+        )
+        # Round-trip through the packer recovers the exact Python ints.
+        assert pack_bit_matrix(unpack_bits(spilled, self.WIDTH))[1] == rows
+
+    def test_pack_rows_spill_empty_and_zero_width(self):
+        assert pack_rows([], 128, spill=True).shape == (0, 2)
+        zeros = pack_rows([0, 0], 0, spill=True)
+        assert pack_bit_matrix(unpack_bits(zeros, 0))[1] == [0, 0]
+
+    def test_pack_bit_matrix_spill_identity(self):
+        rows = _dense_rows(self.COUNT, self.WIDTH)
+        bits = unpack_bits(pack_rows(rows, self.WIDTH), self.WIDTH)
+        plain_words, plain_ints = pack_bit_matrix(bits)
+        spill_words, spill_ints = pack_bit_matrix(bits, spill=True)
+        assert hasattr(spill_words, "_spill_source")
+        assert spill_ints == plain_ints == rows
+        assert unpack_bits(spill_words, self.WIDTH).tolist() == bits.tolist()
+
+    def test_gather_packed_spilled_matches_in_ram_gather(self):
+        rows = _dense_rows(self.COUNT, self.WIDTH)
+        words = pack_rows(rows, self.WIDTH, spill=True)
+        selection = [bit for bit in range(self.WIDTH) if bit % 3 != 1]
+        reference_bits = unpack_bits(pack_rows(rows, self.WIDTH), self.WIDTH)[
+            :, selection
+        ]
+        reference_ints = pack_bit_matrix(reference_bits)[1]
+        gathered_words, gathered_ints = gather_packed_spilled(
+            words, selection, self.WIDTH, len(rows)
+        )
+        assert hasattr(gathered_words, "_spill_source")
+        assert gathered_ints == reference_ints
+        assert (
+            unpack_bits(gathered_words, len(selection)).tolist()
+            == reference_bits.tolist()
+        )
+
+    def test_gather_empty_selection_and_empty_matrix(self):
+        rows = _dense_rows(8, 70)
+        words = pack_rows(rows, 70, spill=True)
+        _, gathered_ints = gather_packed_spilled(words, [], 70, len(rows))
+        assert gathered_ints == [0] * len(rows)
+        _, empty_ints = gather_packed_spilled(pack_rows([], 70), [1, 2], 70, 0)
+        assert empty_ints == []
+
+    def test_masked_popcounts_memmap_slab_path(self):
+        rows = _dense_rows(self.COUNT, self.WIDTH)
+        mask = sum(1 << bit for bit in range(self.WIDTH) if bit % 2 == 0)
+        expected = [(row & mask).bit_count() for row in rows]
+        in_ram = masked_popcounts(pack_rows(rows, self.WIDTH), mask, self.WIDTH)
+        spilled = masked_popcounts(
+            pack_rows(rows, self.WIDTH, spill=True), mask, self.WIDTH
+        )
+        assert list(map(int, in_ram)) == expected
+        assert list(map(int, spilled)) == expected
+
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_rows_for_identical_with_spill(self, domain):
+        """End-to-end: batch dispatch emits the same rows with spill on."""
+        outputs = []
+        for spill in (False, True):
+            system = build_probe_system(domain, kernel=True)
+            system.specification.engine.kernel.spill.enabled = spill
+            labelings = probe_labelings(system, count=2)
+            evaluator = MatchEvaluator(system, radius=1)
+            layouts = [
+                BorderColumns.from_labeling(evaluator, labeling)
+                for labeling in labelings
+            ]
+            batch = MultiLabelingBatchKernel(evaluator, layouts)
+            pool = probe_pool(system)
+            results = batch.rows_for([pool] * len(layouts))
+            outputs.append(
+                [(tuple(layout.rows), tuple(layout.counts)) for layout in results]
+            )
+        assert outputs[0] == outputs[1]

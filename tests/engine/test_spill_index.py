@@ -10,12 +10,26 @@ tests pin the store protocol, the index differential (including
 ``apply_patch`` under drift) and the end-to-end served rankings.
 """
 
+import os
 import pickle
 import random
+import tempfile
 
 import pytest
 
-from repro.engine.kernel import SpillArgsRows, SpillMaskRows, UnifiedBorderIndex
+from repro.core.matching import MatchEvaluator
+from repro.engine.kernel import (
+    PoolMatchKernel,
+    SpillArgsRows,
+    SpillMaskRows,
+    UnifiedBorderIndex,
+)
+from repro.engine.verdicts import BorderColumns
+from repro.experiments.kernel_exp import (
+    build_probe_system,
+    probe_labeling,
+    probe_pool,
+)
 from repro.queries.atoms import Atom
 from repro.queries.terms import Constant, Variable
 
@@ -170,3 +184,111 @@ class TestSpilledIndexDifferential:
                 ).render(top_k=None)
             )
         assert renders[0] == renders[1]
+
+
+def live_spill_fds() -> int:
+    """How many spill temp files this process holds open.
+
+    The spill stores' ``tempfile.TemporaryFile`` handles are anonymous
+    (unlinked) on POSIX, so the only observable footprint of a live
+    spilled column is its file descriptor — count them straight out of
+    ``/proc/self/fd`` rather than guessing at disk usage.  On Linux
+    ``O_TMPFILE`` never names the file at all (the fd resolves to
+    ``<tmpdir>/#<inode> (deleted)``); on the unlink fallback the
+    ``repro-spill-`` prefix survives in the resolved (deleted) path.
+    """
+    tmpdir = tempfile.gettempdir()
+    count = 0
+    for entry in os.listdir("/proc/self/fd"):
+        try:
+            target = os.readlink(f"/proc/self/fd/{entry}")
+        except OSError:
+            continue  # the fd closed between listdir and readlink
+        if "repro-spill-" in target or (
+            target.startswith(f"{tmpdir}/#") and target.endswith(" (deleted)")
+        ):
+            count += 1
+    return count
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/proc/self/fd"), reason="needs the /proc fd table"
+)
+class TestSpillTempFileLifecycle:
+    """Superseded kernels must release their spilled columns promptly.
+
+    ``PoolMatchKernel.patched`` on a *restricted* kernel cannot hand its
+    index to the successor (it covers only a bit subset), so the stale
+    index has to be closed on the spot — leaving the release to garbage
+    collection keeps memory-mapped temp files pinning disk for as long
+    as any stray reference survives.  These tests count live
+    ``repro-spill-`` file descriptors around each transition, so a
+    dropped ``close()`` shows up as a leaked fd, deterministically.
+    """
+
+    def _spilled_setup(self):
+        system = build_probe_system("loans", kernel=True)
+        system.specification.engine.kernel.spill.enabled = True
+        evaluator = MatchEvaluator(system, radius=0)
+        columns = BorderColumns.from_labeling(evaluator, probe_labeling(system))
+        assert columns.width >= 2, "the restricted-bits scenario needs >= 2 columns"
+        return system, evaluator, columns
+
+    def test_patched_restricted_kernel_closes_spilled_index(self):
+        system, evaluator, columns = self._spilled_setup()
+        query = probe_pool(system)[0]
+        restricted = PoolMatchKernel(
+            evaluator, columns, bits=tuple(range(columns.width - 1))
+        )
+        baseline = live_spill_fds()
+        restricted.row(query)  # force the spilled index build
+        assert live_spill_fds() > baseline
+        successor = restricted.patched(columns, [])
+        # The regression: before the fix the restricted index stayed
+        # attached (and its fds open) until the GC got around to it.
+        assert live_spill_fds() == baseline
+        assert restricted._index is None
+        # The successor builds lazily and serves the same verdicts as a
+        # directly-built full-width kernel.
+        reference = PoolMatchKernel(evaluator, columns)
+        assert successor.row(query) == reference.row(query)
+        successor.close()
+        reference.close()
+        assert live_spill_fds() == baseline
+
+    def test_patched_full_width_kernel_adopts_spilled_index(self):
+        system, evaluator, columns = self._spilled_setup()
+        query = probe_pool(system)[0]
+        kernel = PoolMatchKernel(evaluator, columns)
+        baseline = live_spill_fds()
+        kernel.row(query)
+        built = live_spill_fds()
+        assert built > baseline
+        successor = kernel.patched(columns, [])
+        # Full-width supersession transfers the index: same fds, no
+        # duplicate spill files, predecessor detached.
+        assert live_spill_fds() == built
+        assert kernel._index is None
+        assert successor.row(query) == kernel.row(query)
+        successor.close()
+        kernel.close()
+        assert live_spill_fds() == baseline
+
+    def test_close_is_idempotent_and_safe_on_unbuilt_kernels(self):
+        system, evaluator, columns = self._spilled_setup()
+        query = probe_pool(system)[0]
+        unbuilt = PoolMatchKernel(evaluator, columns)
+        unbuilt.close()
+        unbuilt.close()  # never built: both calls are no-ops
+        baseline = live_spill_fds()
+        kernel = PoolMatchKernel(evaluator, columns)
+        expected = kernel.row(query)
+        assert live_spill_fds() > baseline
+        kernel.close()
+        assert live_spill_fds() == baseline
+        kernel.close()  # second close stays a no-op
+        assert live_spill_fds() == baseline
+        # A closed kernel rebuilds lazily on the next row request.
+        assert kernel.row(query) == expected
+        kernel.close()
+        assert live_spill_fds() == baseline

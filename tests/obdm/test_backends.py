@@ -256,3 +256,112 @@ class TestServiceOverSQLite:
         )
         with pytest.raises(ValueError):
             drifted.load(path)
+
+
+class TestAlgebraCompilerCornerCases:
+    """SQL-compiled algebra trees vs the in-memory evaluator, errors included.
+
+    The compiler promises *exact* ``SchemaError`` parity: a tree that the
+    in-memory :mod:`repro.sql.algebra` rejects must be rejected by the
+    SQL path with the identical message, and a tree both accept must
+    produce the identical row set.
+    """
+
+    def build(self):
+        from repro.obdm.schema import SourceSchema
+
+        schema = SourceSchema(name="S")
+        schema.declare("ENR", ("student", "subject", "university"))
+        schema.declare("LOC", ("university", "city"))
+        database = SourceDatabase(schema, name="alg")
+        database.add("ENR", "A10", "Math", "TV")
+        database.add("ENR", "B80", "Math", "Sap")
+        database.add("ENR", "C12", "Science", "Norm")
+        database.add("LOC", "Sap", "Rome")
+        database.add("LOC", "TV", "Rome")
+        catalog = schema.to_catalog()
+        for fact in database.facts:
+            catalog.insert(fact.predicate, tuple(a.value for a in fact.args))
+        return sqlite_twin(database), catalog
+
+    def parity_rows(self, tree):
+        database, catalog = self.build()
+        pushed = set(database.execute_pushdown(tree))
+        legacy = tree.evaluate(catalog).rows
+        assert pushed == legacy
+        return pushed
+
+    def parity_error(self, tree):
+        from repro.errors import SchemaError
+
+        database, catalog = self.build()
+        with pytest.raises(SchemaError) as pushed:
+            database.execute_pushdown(tree)
+        with pytest.raises(SchemaError) as legacy:
+            tree.evaluate(catalog)
+        assert str(pushed.value) == str(legacy.value)
+        return str(pushed.value)
+
+    def test_rename_chain_rows(self):
+        from repro.sql.algebra import Condition, Rename, Scan, Select
+
+        tree = Select(
+            Rename(
+                Rename(Scan("LOC", "l"), ("site", "town")), ("campus", "city")
+            ),
+            (Condition("city", "Rome"),),
+        )
+        rows = self.parity_rows(tree)
+        assert rows == {("Sap", "Rome"), ("TV", "Rome")}
+
+    def test_rename_arity_mismatch_message_parity(self):
+        from repro.sql.algebra import Rename, Scan
+
+        message = self.parity_error(Rename(Scan("LOC", "l"), ("only",)))
+        assert message == "rename expects 2 attribute names, got 1"
+
+    def test_union_arity_mismatch_message_parity(self):
+        from repro.sql.algebra import Scan, Union
+
+        message = self.parity_error(Union(Scan("ENR", "e"), Scan("LOC", "l")))
+        assert message == "union of incompatible arities: 3 vs 2"
+
+    def test_cross_product_duplicate_capture_message_parity(self):
+        from repro.sql.algebra import CrossProduct, Scan
+
+        message = self.parity_error(CrossProduct(Scan("LOC", "l"), Scan("LOC", "l")))
+        assert message == (
+            "cross product would produce duplicate attribute names; "
+            "use aliases to disambiguate"
+        )
+
+    def test_cross_product_with_aliases_joins(self):
+        from repro.sql.algebra import Condition, CrossProduct, Project, Scan, Select
+
+        tree = Project(
+            Select(
+                CrossProduct(Scan("ENR", "e"), Scan("LOC", "l")),
+                (Condition("e.university", "l.university", True, True),),
+            ),
+            ("e.student", "l.city"),
+        )
+        rows = self.parity_rows(tree)
+        assert rows == {("A10", "Rome"), ("B80", "Rome")}
+
+    def test_unknown_attribute_message_parity(self):
+        from repro.sql.algebra import Project, Scan
+
+        message = self.parity_error(Project(Scan("LOC", "l"), ("nope",)))
+        assert message == (
+            "unknown attribute 'nope' among ['l.university', 'l.city']"
+        )
+
+    def test_ambiguous_attribute_message_parity(self):
+        from repro.sql.algebra import Condition, CrossProduct, Scan, Select
+
+        tree = Select(
+            CrossProduct(Scan("ENR", "e"), Scan("LOC", "l")),
+            (Condition("university", "TV"),),
+        )
+        message = self.parity_error(tree)
+        assert message.startswith("ambiguous attribute 'university' among ")

@@ -1,0 +1,319 @@
+"""Differential suite: whole-rewriting SQL pushdown vs in-memory evaluation.
+
+PR 10 routes the certain-answer check through one pushed-down SQL
+statement per rewritten UCQ (``SQLiteBackend.ucq_certain_answers`` /
+``ucq_contains_tuple``) behind ``engine.pushdown.enabled``.  The
+contract is *byte identity*: every answer set, membership verdict and
+served ranking must match the legacy in-memory evaluation exactly,
+across all four domains, with fallbacks counted (never raised) off the
+SQL backend.
+"""
+
+import pytest
+
+from repro.engine.cache import CacheLimits
+from repro.experiments.kernel_exp import (
+    PROBE_DOMAINS,
+    build_probe_system,
+    probe_labeling,
+    probe_pool,
+)
+from repro.gateway.registry import ServiceRegistry
+from repro.obdm.backend import PushdownUnsupported, SQLiteBackend
+from repro.obdm.system import OBDMSystem
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.evaluation import FactIndex
+from repro.queries.terms import Constant
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.service import ExplanationService
+
+pytestmark = pytest.mark.backend
+
+
+def fresh_engine(domain: str):
+    """A fresh system + engine (cold memos, zero counters) for one domain."""
+    system = build_probe_system(domain)
+    return system, system.specification.engine
+
+
+class TestPushdownDifferential:
+    """certain_answers / is_certain_answer identity across backends."""
+
+    @pytest.mark.parametrize("domain", PROBE_DOMAINS)
+    def test_answer_sets_identical(self, domain):
+        memory_system, memory_engine = fresh_engine(domain)
+        sqlite_system, sqlite_engine = fresh_engine(domain)
+        nopush_system, nopush_engine = fresh_engine(domain)
+        memory_db = memory_system.database
+        sqlite_db = memory_db.with_backend("sqlite", name="pd_sqlite")
+        nopush_db = memory_db.with_backend(
+            SQLiteBackend(pushdown=False), name="pd_nopush"
+        )
+        for query in probe_pool(memory_system):
+            expected = memory_engine.certain_answers(query, memory_db)
+            assert sqlite_engine.certain_answers(query, sqlite_db) == expected
+            assert nopush_engine.certain_answers(query, nopush_db) == expected
+        stats = sqlite_engine.cache.stats
+        assert stats.pushdown_misses > 0
+        assert stats.pushdown_fallbacks == 0
+        assert nopush_engine.cache.stats.pushdown_fallbacks > 0
+
+    @pytest.mark.parametrize("domain", PROBE_DOMAINS)
+    def test_membership_identical(self, domain):
+        memory_system, memory_engine = fresh_engine(domain)
+        _sqlite_system, sqlite_engine = fresh_engine(domain)
+        memory_db = memory_system.database
+        sqlite_db = memory_db.with_backend("sqlite", name="pd_sqlite")
+        for query in probe_pool(memory_system):
+            if query.arity != 1:
+                continue
+            answers = memory_engine.certain_answers(query, memory_db)
+            candidates = sorted(answers, key=repr)[:3] + [(Constant("NOPE"),)]
+            for candidate in candidates:
+                expected = memory_engine.is_certain_answer(query, candidate, memory_db)
+                assert (
+                    sqlite_engine.is_certain_answer(query, candidate, sqlite_db)
+                    == expected
+                ), (str(query), candidate)
+
+    def test_pushdown_toggle_off_matches_on(self):
+        system, _ = fresh_engine("loans")
+        sqlite_db = system.database.with_backend("sqlite", name="pd_sqlite")
+        _on_system, on_engine = fresh_engine("loans")
+        _off_system, off_engine = fresh_engine("loans")
+        off_engine.pushdown.enabled = False
+        for query in probe_pool(system):
+            assert on_engine.certain_answers(query, sqlite_db) == (
+                off_engine.certain_answers(query, sqlite_db)
+            )
+        # The disabled engine never even attempted a pushdown.
+        stats = off_engine.cache.stats
+        assert stats.pushdown_misses == 0
+        assert stats.pushdown_hits == 0
+        assert stats.pushdown_fallbacks == 0
+
+
+class TestFallbackCounting:
+    def test_memory_backend_counts_fallbacks(self):
+        system, engine = fresh_engine("loans")
+        query = probe_pool(system)[0]
+        engine.certain_answers(query, system.database)
+        engine.is_certain_answer(query, (Constant("NOPE"),), system.database)
+        stats = engine.cache.stats
+        assert stats.pushdown_fallbacks == 2
+        assert stats.pushdown_misses == 0
+        assert stats.pushdown_hits == 0
+
+    def test_sqlite_backend_memoizes_pushdown_results(self):
+        system, engine = fresh_engine("loans")
+        sqlite_db = system.database.with_backend("sqlite", name="pd_sqlite")
+        query = probe_pool(system)[0]
+        first = engine.certain_answers(query, sqlite_db)
+        assert engine.cache.stats.pushdown_misses == 1
+        second = engine.certain_answers(query, sqlite_db)
+        assert second == first
+        assert engine.cache.stats.pushdown_hits == 1
+        assert engine.cache.size_report()["pushdown_results"] == 1
+
+    def test_pushdown_memo_respects_limits(self):
+        system, engine = fresh_engine("loans")
+        sqlite_db = system.database.with_backend("sqlite", name="pd_sqlite")
+        engine.configure_cache_limits(CacheLimits(pushdowns=1))
+        pool = [q for q in probe_pool(system) if q.arity == 1][:3]
+        for query in pool:
+            engine.certain_answers(query, sqlite_db)
+        assert engine.cache.size_report()["pushdown_results"] == 1
+
+
+class TestAboxRegistryEviction:
+    def make_query(self):
+        return ConjunctiveQuery.of(("?x",), (Atom.of("A", "?x"),), name="q")
+
+    def make_abox(self, index):
+        return frozenset(
+            {Atom.of("A", f"c{index}"), Atom.of("B", f"c{index}", f"d{index}")}
+        )
+
+    def test_eviction_keeps_answers_correct(self):
+        backend = SQLiteBackend()
+        backend._ABOX_CAPACITY = 2
+        query = self.make_query()
+        for i in range(3):
+            answers = backend.ucq_certain_answers(query, self.make_abox(i))
+            assert answers == {(Constant(f"c{i}"),)}
+        assert len(backend._abox_ids) == 2
+        # The evicted ABox re-registers transparently and still answers.
+        assert backend.ucq_certain_answers(query, self.make_abox(0)) == {
+            (Constant("c0"),)
+        }
+        assert len(backend._abox_ids) == 2
+        # Compiled plans never outlive their ABox registration.
+        live_ids = {entry[0] for entry in backend._abox_ids.values()}
+        assert all(key[1] in live_ids for key in backend._ucq_plans)
+
+    def test_closed_backend_raises_unsupported(self):
+        backend = SQLiteBackend()
+        backend.close()
+        with pytest.raises(PushdownUnsupported):
+            backend.ucq_certain_answers(self.make_query(), self.make_abox(0))
+
+
+class TestPushdownEdgeCases:
+    """Synthetic UCQ shapes against the in-memory evaluator, bit for bit."""
+
+    FACTS = frozenset(
+        {
+            Atom.of("A", "a"),
+            Atom.of("A", "b"),
+            Atom.of("R", "a", "b"),
+            Atom.of("R", "b", "b"),
+        }
+    )
+
+    def both(self, query, facts=None):
+        facts = self.FACTS if facts is None else facts
+        backend = SQLiteBackend()
+        pushed = backend.ucq_certain_answers(query, facts)
+        legacy = query.evaluate((), index=FactIndex(facts))
+        return pushed, legacy
+
+    def test_boolean_query(self):
+        query = UnionOfConjunctiveQueries.single(
+            ConjunctiveQuery.of((), (Atom.of("A", "?x"),), name="qb")
+        )
+        pushed, legacy = self.both(query)
+        assert pushed == legacy == {()}
+        empty = frozenset({Atom.of("B", "z")})
+        pushed, legacy = self.both(query, empty)
+        assert pushed == legacy == set()
+
+    def test_join_disjunct(self):
+        query = UnionOfConjunctiveQueries.single(
+            ConjunctiveQuery.of(
+                ("?x",), (Atom.of("A", "?x"), Atom.of("R", "?x", "?y")), name="qj"
+            )
+        )
+        pushed, legacy = self.both(query)
+        assert pushed == legacy == {(Constant("a"),), (Constant("b"),)}
+
+    def test_absent_predicate_disjunct_skipped(self):
+        query = UnionOfConjunctiveQueries.of(
+            (
+                ConjunctiveQuery.of(("?x",), (Atom.of("A", "?x"),), name="q1"),
+                ConjunctiveQuery.of(("?x",), (Atom.of("MISSING", "?x"),), name="q2"),
+            ),
+            name="qu",
+        )
+        pushed, legacy = self.both(query)
+        assert pushed == legacy == {(Constant("a"),), (Constant("b"),)}
+
+    def test_duplicate_head_variable_membership(self):
+        query = UnionOfConjunctiveQueries.single(
+            ConjunctiveQuery.of(("?x", "?x"), (Atom.of("R", "?x", "?y"),), name="qd")
+        )
+        backend = SQLiteBackend()
+        good = (Constant("a"), Constant("a"))
+        bad = (Constant("a"), Constant("b"))
+        assert backend.ucq_contains_tuple(query, good, self.FACTS) is (
+            query.contains_tuple(good, (), index=FactIndex(self.FACTS))
+        )
+        assert backend.ucq_contains_tuple(query, bad, self.FACTS) is False
+        assert query.contains_tuple(bad, (), index=FactIndex(self.FACTS)) is False
+
+    def test_constant_in_body(self):
+        query = UnionOfConjunctiveQueries.single(
+            ConjunctiveQuery.of(("?x",), (Atom.of("R", "?x", Constant("b")),), name="qc")
+        )
+        pushed, legacy = self.both(query)
+        assert pushed == legacy == {(Constant("a"),), (Constant("b"),)}
+
+    def test_arity_mismatch_membership_is_false(self):
+        query = UnionOfConjunctiveQueries.single(
+            ConjunctiveQuery.of(("?x",), (Atom.of("A", "?x"),), name="q1")
+        )
+        backend = SQLiteBackend()
+        too_wide = (Constant("a"), Constant("a"))
+        assert backend.ucq_contains_tuple(query, too_wide, self.FACTS) is False
+
+    def test_mixed_arity_abox_predicate_unsupported(self):
+        backend = SQLiteBackend()
+        facts = frozenset({Atom.of("P", "a"), Atom.of("P", "a", "b")})
+        query = UnionOfConjunctiveQueries.single(
+            ConjunctiveQuery.of(("?x",), (Atom.of("P", "?x"),), name="qm")
+        )
+        with pytest.raises(PushdownUnsupported):
+            backend.ucq_certain_answers(query, facts)
+
+
+class TestServedRankingIdentity:
+    """End-to-end serving through is_certain_answer: three stores, one ranking."""
+
+    def serve(self, database):
+        from repro.experiments.scalability import build_loan_pool
+        from repro.ontologies.loans import build_loan_specification
+
+        specification = build_loan_specification()
+        specification.engine.verdicts.enabled = False
+        specification.engine.kernel.enabled = False
+        system = OBDMSystem(specification, database, name="pd_served")
+        service = ExplanationService(system, radius=0)
+        workload = build_loan_pool(12, 8, 4, seed=7)
+        render = service.explain(
+            workload.labelings[0], candidates=workload.pool, top_k=None
+        ).render(top_k=None)
+        return render, service
+
+    def test_rankings_and_counters(self):
+        from repro.workloads.loans_gen import LoanWorkloadConfig, generate_loan_workload
+
+        base = generate_loan_workload(LoanWorkloadConfig(applicants=12, seed=7)).database
+        memory_render, memory_service = self.serve(base)
+        sqlite_render, sqlite_service = self.serve(
+            base.with_backend("sqlite", name="pd_sql")
+        )
+        nopush_render, nopush_service = self.serve(
+            base.with_backend(SQLiteBackend(pushdown=False), name="pd_nopush")
+        )
+        assert memory_render == sqlite_render == nopush_render
+        sqlite_report = sqlite_service.size_report()
+        assert sqlite_report["pushdown_misses"] > 0
+        assert sqlite_report["pushdown_fallbacks"] == 0
+        assert memory_service.size_report()["pushdown_fallbacks"] > 0
+        assert nopush_service.size_report()["pushdown_fallbacks"] > 0
+
+
+class TestGatewaySurface:
+    def test_registry_pushdown_totals(self):
+        from repro.experiments.scalability import build_loan_pool
+        from repro.ontologies.loans import build_loan_specification
+        from repro.workloads.loans_gen import LoanWorkloadConfig, generate_loan_workload
+
+        base = generate_loan_workload(LoanWorkloadConfig(applicants=12, seed=7)).database
+
+        def builder():
+            specification = build_loan_specification()
+            specification.engine.verdicts.enabled = False
+            specification.engine.kernel.enabled = False
+            return OBDMSystem(
+                specification,
+                base.with_backend("sqlite", name="pd_gw"),
+                name="pd_gateway",
+            )
+
+        registry = ServiceRegistry()
+        registry.register("tenant", builder, radius=0)
+        totals = registry.pushdown_totals()
+        assert totals == {
+            "pushdown_hits": 0,
+            "pushdown_misses": 0,
+            "pushdown_fallbacks": 0,
+        }
+        service = registry.service("tenant")
+        workload = build_loan_pool(12, 8, 4, seed=7)
+        service.explain(workload.labelings[0], candidates=workload.pool, top_k=None)
+        totals = registry.pushdown_totals()
+        assert totals["pushdown_misses"] > 0
+        assert totals["pushdown_fallbacks"] == 0
+        assert totals["pushdown_misses"] == service.cache_stats.pushdown_misses
+        assert totals["pushdown_hits"] == service.cache_stats.pushdown_hits
